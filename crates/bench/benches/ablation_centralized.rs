@@ -1,0 +1,32 @@
+//! Ablation: centralized solution 1 (virtual faulty block + labelling
+//! schemes) versus centralized solution 2 (concave row/column sections).
+//!
+//! Both produce the same minimum polygons; this bench measures the cost
+//! difference between emulating the labelling schemes on per-component
+//! windows and directly scanning for concave sections.
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultgen::FaultDistribution;
+use fblock::FaultModel;
+use mocp_core::CentralizedMfpModel;
+
+fn bench_centralized_solutions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_centralized_solutions");
+    group.sample_size(20);
+    for &faults in &[200usize, 800] {
+        let (mesh, fault_set) = workload(FaultDistribution::Clustered, faults, 17);
+        group.bench_function(format!("virtual_block_{faults}"), |b| {
+            let model = CentralizedMfpModel::virtual_block();
+            b.iter(|| std::hint::black_box(model.construct(&mesh, &fault_set)))
+        });
+        group.bench_function(format!("concave_sections_{faults}"), |b| {
+            let model = CentralizedMfpModel::concave_sections();
+            b.iter(|| std::hint::black_box(model.construct(&mesh, &fault_set)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized_solutions);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: sequential versus crossbeam-parallel stepping of the labelling
+//! scheme 1 fixpoint on the full 100×100 mesh.
+//!
+//! Both produce identical labels and round counts; the question is whether
+//! parallel rounds pay off at this mesh size.
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use distsim::parallel::run_local_rule_parallel;
+use distsim::run_local_rule;
+use faultgen::FaultDistribution;
+use fblock::scheme1::Scheme1Rule;
+
+fn bench_parallel_rounds(c: &mut Criterion) {
+    let (mesh, faults) = workload(FaultDistribution::Clustered, 800, 5);
+    let mut group = c.benchmark_group("ablation_parallel_rounds");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let rule = Scheme1Rule::new(&faults);
+            std::hint::black_box(run_local_rule(&mesh, &rule))
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(format!("parallel_{threads}_threads"), |b| {
+            b.iter(|| {
+                let rule = Scheme1Rule::new(&faults);
+                std::hint::black_box(run_local_rule_parallel(&mesh, &rule, threads))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_rounds);
+criterion_main!(benches);

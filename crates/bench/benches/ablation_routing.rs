@@ -1,0 +1,46 @@
+//! Ablation: routing quality over FB regions versus MFP regions.
+//!
+//! The same faults are modelled once as rectangular faulty blocks and once as
+//! minimum faulty polygons; the extended e-cube router then routes a sample
+//! of node pairs over each. MFP keeps more endpoints routable and produces
+//! shorter detours — the system-level payoff the paper's introduction argues
+//! for.
+
+use bench::workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultgen::FaultDistribution;
+use fblock::{FaultModel, FaultyBlockModel};
+use meshroute::RoutingExperiment;
+use mocp_core::CentralizedMfpModel;
+
+fn bench_routing(c: &mut Criterion) {
+    let (mesh, faults) = workload(FaultDistribution::Clustered, 300, 23);
+    let fb = FaultyBlockModel.construct(&mesh, &faults);
+    let mfp = CentralizedMfpModel::virtual_block().construct(&mesh, &faults);
+
+    // Report the comparison once: delivery rate and stretch under each model.
+    for outcome in [&fb, &mfp] {
+        let stats = RoutingExperiment::new(&mesh, &outcome.status, 151).run();
+        eprintln!(
+            "{}: delivery rate {:.3}, avg stretch {:.3}, avg abnormal hops {:.2}, excluded endpoints {}",
+            outcome.model,
+            stats.delivery_rate(),
+            stats.average_stretch,
+            stats.average_abnormal_hops,
+            stats.endpoint_excluded,
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_routing");
+    group.sample_size(10);
+    group.bench_function("route_over_fb_regions", |b| {
+        b.iter(|| std::hint::black_box(RoutingExperiment::new(&mesh, &fb.status, 307).run()))
+    });
+    group.bench_function("route_over_mfp_regions", |b| {
+        b.iter(|| std::hint::black_box(RoutingExperiment::new(&mesh, &mfp.status, 307).run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

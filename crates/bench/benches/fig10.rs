@@ -1,0 +1,28 @@
+//! Figure 10 benchmark: the average size of a faulty block / polygon under
+//! FB, FP and MFP for both fault distribution models.
+
+use bench::figure_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::fig10::figure10;
+use experiments::{render_table, run_sweep};
+use faultgen::FaultDistribution;
+
+fn bench_fig10(c: &mut Criterion) {
+    let config = figure_config();
+    let mut group = c.benchmark_group("fig10_region_size");
+    group.sample_size(10);
+    for dist in FaultDistribution::ALL {
+        let series = figure10(&run_sweep(&config, dist));
+        eprintln!("{}", render_table(&series));
+        group.bench_function(dist.label(), |b| {
+            b.iter(|| {
+                let result = run_sweep(&config, dist);
+                std::hint::black_box(figure10(&result))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 11 benchmark: the average number of rounds of status determination
+//! under FB, FP, CMFP and DMFP for both fault distribution models.
+
+use bench::figure_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::fig11::figure11;
+use experiments::{render_table, run_sweep};
+use faultgen::FaultDistribution;
+
+fn bench_fig11(c: &mut Criterion) {
+    let config = figure_config();
+    let mut group = c.benchmark_group("fig11_rounds");
+    group.sample_size(10);
+    for dist in FaultDistribution::ALL {
+        let series = figure11(&run_sweep(&config, dist));
+        eprintln!("{}", render_table(&series));
+        group.bench_function(dist.label(), |b| {
+            b.iter(|| {
+                let result = run_sweep(&config, dist);
+                std::hint::black_box(figure11(&result))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 9 benchmark: the number of non-faulty but disabled nodes under FB,
+//! FP and MFP. Running this bench regenerates the Figure 9 series (printed to
+//! stderr once per distribution) and measures how long each full sweep takes.
+
+use bench::figure_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::fig9::figure9_raw;
+use experiments::{render_table, run_sweep};
+use faultgen::FaultDistribution;
+
+fn bench_fig9(c: &mut Criterion) {
+    let config = figure_config();
+    let mut group = c.benchmark_group("fig9_disabled_nodes");
+    group.sample_size(10);
+    for dist in FaultDistribution::ALL {
+        // Print the regenerated series once so the bench doubles as a figure
+        // reproduction run.
+        let series = figure9_raw(&run_sweep(&config, dist));
+        eprintln!("{}", render_table(&series));
+        group.bench_function(dist.label(), |b| {
+            b.iter(|| {
+                let result = run_sweep(&config, dist);
+                std::hint::black_box(figure9_raw(&result))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

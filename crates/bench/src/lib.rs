@@ -1,0 +1,55 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Each bench in `benches/` regenerates one figure of the paper (or one
+//! ablation study) by calling into the same experiment harness the
+//! `paper-figures` binary uses, so the benchmarked work is exactly the
+//! reported work. The helpers here keep the per-figure configurations in one
+//! place:
+//!
+//! * [`figure_config`] — the 100×100 mesh sweep used by the figure benches,
+//!   reduced to one trial and two fault counts so a Criterion run finishes in
+//!   minutes while still exercising the full-size construction;
+//! * [`workload`] — deterministic fault patterns for the ablation benches.
+
+use experiments::SweepConfig;
+use faultgen::{generate_faults, FaultDistribution};
+use mesh2d::{FaultSet, Mesh2D};
+
+/// The sweep configuration used by the `fig9` / `fig10` / `fig11` benches:
+/// the paper's 100×100 mesh at a light and a heavy fault load, one trial.
+pub fn figure_config() -> SweepConfig {
+    SweepConfig {
+        mesh_size: 100,
+        fault_counts: vec![200, 800],
+        trials: 1,
+        base_seed: 2004,
+    }
+}
+
+/// A deterministic fault workload on the paper's 100×100 mesh.
+pub fn workload(distribution: FaultDistribution, faults: usize, seed: u64) -> (Mesh2D, FaultSet) {
+    let mesh = Mesh2D::square(100);
+    let fs = generate_faults(mesh, faults, distribution, seed);
+    (mesh, fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_config_targets_the_paper_mesh() {
+        let c = figure_config();
+        assert_eq!(c.mesh_size, 100);
+        assert_eq!(c.trials, 1);
+        assert!(c.fault_counts.contains(&800));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let (_, a) = workload(FaultDistribution::Clustered, 50, 1);
+        let (_, b) = workload(FaultDistribution::Clustered, 50, 1);
+        assert_eq!(a.in_insertion_order(), b.in_insertion_order());
+        assert_eq!(a.len(), 50);
+    }
+}

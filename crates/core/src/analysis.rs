@@ -1,0 +1,234 @@
+//! High-level entry points: the CMFP fault model and the cross-model
+//! analysis helper.
+
+use crate::centralized::VirtualBlockSolver;
+use crate::component::{merge_components, FaultyComponent};
+use crate::concave::ConcaveSectionSolver;
+use crate::superseding::pile_polygons;
+use distsim::RoundStats;
+use fblock::{FaultModel, FaultyBlockModel, ModelOutcome, SubMinimumPolygonModel};
+use mesh2d::{FaultSet, Mesh2D, Region};
+use serde::{Deserialize, Serialize};
+
+/// Which centralized formulation computes the per-component polygons.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum CentralizedSolution {
+    /// Solution 1: emulate labelling schemes 1 and 2 on each component's
+    /// virtual faulty block. Round counts are the per-component labelling
+    /// rounds (the CMFP series of Figure 11).
+    #[default]
+    VirtualBlock,
+    /// Solution 2: disable every node on a concave row/column section.
+    /// Reported "rounds" are scan iterations (an algorithmic metric used by
+    /// the ablation benchmark, not neighbor exchanges).
+    ConcaveSections,
+}
+
+/// The centralized minimum faulty polygon construction (model name `CMFP`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CentralizedMfpModel {
+    /// Formulation used to compute each component's polygon.
+    pub solution: CentralizedSolution,
+}
+
+impl CentralizedMfpModel {
+    /// A model using centralized solution 1 (virtual faulty blocks).
+    pub fn virtual_block() -> Self {
+        CentralizedMfpModel {
+            solution: CentralizedSolution::VirtualBlock,
+        }
+    }
+
+    /// A model using centralized solution 2 (concave row/column sections).
+    pub fn concave_sections() -> Self {
+        CentralizedMfpModel {
+            solution: CentralizedSolution::ConcaveSections,
+        }
+    }
+
+    /// Solves every component and returns the per-component polygons together
+    /// with the network-wide round statistics (components are constructed in
+    /// disjoint areas of the mesh, so their rounds compose in parallel).
+    pub fn solve_components(
+        &self,
+        mesh: &Mesh2D,
+        components: &[FaultyComponent],
+    ) -> (Vec<Region>, RoundStats) {
+        let mut polygons = Vec::with_capacity(components.len());
+        let mut rounds = RoundStats::quiescent();
+        for component in components {
+            match self.solution {
+                CentralizedSolution::VirtualBlock => {
+                    let sol = VirtualBlockSolver.solve(mesh, component);
+                    rounds = rounds.in_parallel_with(sol.rounds);
+                    polygons.push(sol.polygon);
+                }
+                CentralizedSolution::ConcaveSections => {
+                    let (polygon, iterations) = ConcaveSectionSolver.solve(component);
+                    let added = (polygon.len() - component.len()) as u64;
+                    rounds = rounds.in_parallel_with(RoundStats {
+                        rounds: iterations,
+                        events: added,
+                        converged: true,
+                    });
+                    polygons.push(polygon);
+                }
+            }
+        }
+        (polygons, rounds)
+    }
+}
+
+impl FaultModel for CentralizedMfpModel {
+    fn name(&self) -> &'static str {
+        "CMFP"
+    }
+
+    fn construct(&self, mesh: &Mesh2D, faults: &FaultSet) -> ModelOutcome {
+        let components = merge_components(faults);
+        let (polygons, rounds) = self.solve_components(mesh, &components);
+        let status = pile_polygons(mesh, faults, &polygons);
+        ModelOutcome {
+            model: "CMFP".to_string(),
+            status,
+            regions: polygons,
+            rounds,
+        }
+    }
+}
+
+/// Runs all four fault models (FB, FP, CMFP, DMFP) on the same fault pattern
+/// and keeps their outcomes side by side — the comparison the paper's
+/// Figures 9–11 are built from.
+#[derive(Clone, Debug)]
+pub struct MfpAnalysis {
+    /// Rectangular faulty block outcome.
+    pub fb: ModelOutcome,
+    /// Sub-minimum faulty polygon outcome (Wu, IPDPS 2001).
+    pub fp: ModelOutcome,
+    /// Centralized minimum faulty polygon outcome.
+    pub cmfp: ModelOutcome,
+    /// Distributed minimum faulty polygon outcome.
+    pub dmfp: ModelOutcome,
+}
+
+impl MfpAnalysis {
+    /// Runs the four constructions on the same mesh and fault set.
+    pub fn run(mesh: &Mesh2D, faults: &FaultSet) -> Self {
+        MfpAnalysis {
+            fb: FaultyBlockModel.construct(mesh, faults),
+            fp: SubMinimumPolygonModel.construct(mesh, faults),
+            cmfp: CentralizedMfpModel::virtual_block().construct(mesh, faults),
+            dmfp: crate::distributed::protocol::DistributedMfpModel::default().construct(mesh, faults),
+        }
+    }
+
+    /// The outcomes in presentation order (FB, FP, CMFP, DMFP).
+    pub fn all(&self) -> [&ModelOutcome; 4] {
+        [&self.fb, &self.fp, &self.cmfp, &self.dmfp]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh2d::Coord;
+
+    fn faults(mesh: Mesh2D, list: &[(i32, i32)]) -> FaultSet {
+        FaultSet::from_coords(mesh, list.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    #[test]
+    fn both_centralized_solutions_agree() {
+        let mesh = Mesh2D::square(16);
+        let fs = faults(
+            mesh,
+            &[
+                (2, 2),
+                (3, 2),
+                (4, 2),
+                (2, 3),
+                (4, 3),
+                (2, 4),
+                (4, 4),
+                (9, 9),
+                (10, 10),
+                (11, 9),
+                (10, 8),
+                (0, 15),
+                (1, 14),
+            ],
+        );
+        let a = CentralizedMfpModel::virtual_block().construct(&mesh, &fs);
+        let b = CentralizedMfpModel::concave_sections().construct(&mesh, &fs);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.regions, b.regions);
+    }
+
+    #[test]
+    fn cmfp_never_disables_more_than_fp() {
+        // The paper's Theorem: the per-component polygons contain no more
+        // non-faulty nodes than any covering set of convex polygons — in
+        // particular no more than the sub-minimum polygons.
+        let mesh = Mesh2D::square(20);
+        let fs = faults(
+            mesh,
+            &[
+                (2, 6),
+                (3, 7),
+                (3, 5),
+                (2, 4),
+                (7, 6),
+                (7, 5),
+                (8, 5),
+                (8, 4),
+                (9, 4),
+                (7, 7),
+                (14, 14),
+                (15, 15),
+                (16, 14),
+            ],
+        );
+        let fp = SubMinimumPolygonModel.construct(&mesh, &fs);
+        let cmfp = CentralizedMfpModel::virtual_block().construct(&mesh, &fs);
+        assert!(cmfp.disabled_nonfaulty() <= fp.disabled_nonfaulty());
+        assert!(cmfp.covers_all_faults());
+        assert!(cmfp.all_regions_convex());
+    }
+
+    #[test]
+    fn cmfp_outcome_metadata() {
+        let mesh = Mesh2D::square(10);
+        let fs = faults(mesh, &[(2, 2), (3, 3), (7, 7)]);
+        let outcome = CentralizedMfpModel::default().construct(&mesh, &fs);
+        assert_eq!(outcome.model, "CMFP");
+        assert_eq!(outcome.regions.len(), 2);
+        assert!(outcome.rounds.converged);
+        assert_eq!(CentralizedMfpModel::default().name(), "CMFP");
+    }
+
+    #[test]
+    fn analysis_runs_all_models_consistently() {
+        let mesh = Mesh2D::square(14);
+        let fs = faults(mesh, &[(3, 3), (4, 4), (5, 3), (4, 2), (9, 9), (10, 10)]);
+        let analysis = MfpAnalysis::run(&mesh, &fs);
+        for outcome in analysis.all() {
+            assert!(outcome.covers_all_faults(), "{}", outcome.model);
+            assert_eq!(outcome.faulty_count(), fs.len(), "{}", outcome.model);
+        }
+        // The ordering the paper reports: MFP disables no more than FP, which
+        // disables no more than FB.
+        assert!(analysis.cmfp.disabled_nonfaulty() <= analysis.fp.disabled_nonfaulty());
+        assert!(analysis.fp.disabled_nonfaulty() <= analysis.fb.disabled_nonfaulty());
+        assert_eq!(analysis.cmfp.disabled_nonfaulty(), analysis.dmfp.disabled_nonfaulty());
+    }
+
+    #[test]
+    fn empty_fault_set_produces_empty_outcome() {
+        let mesh = Mesh2D::square(8);
+        let outcome = CentralizedMfpModel::default().construct(&mesh, &FaultSet::new(mesh));
+        assert!(outcome.regions.is_empty());
+        assert_eq!(outcome.disabled_nonfaulty(), 0);
+        assert_eq!(outcome.rounds.rounds, 0);
+    }
+}

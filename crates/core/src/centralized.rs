@@ -1,0 +1,160 @@
+//! Centralized solution 1: emulate labelling schemes 1 and 2 on each
+//! component's virtual faulty block.
+//!
+//! For every faulty component the merge process recorded the corners of its
+//! virtual faulty block `[(min_x, min_y), (max_x, max_y)]`. Labelling
+//! scheme 1, applied to the component alone, grows exactly this rectangle;
+//! labelling scheme 2 then re-enables the unsafe non-faulty nodes that have
+//! two or more enabled neighbors. The nodes that remain disabled form the
+//! component's minimum faulty polygon.
+//!
+//! To keep the construction cheap on large meshes (the paper's simulation
+//! uses a 100×100 mesh with up to 800 faults), the emulation runs on a small
+//! window — the virtual block plus a one-node margin — rather than on the
+//! whole network. The margin is required because scheme 2 counts enabled
+//! neighbors *outside* the block. The margin is **not** clipped at the mesh
+//! border: the minimum faulty polygon is a geometric notion (the component's
+//! orthogonal convex hull), so the shrinking phase treats the mesh as if it
+//! extended past its border; otherwise a component hugging the border would
+//! keep extra healthy nodes disabled merely because border nodes have fewer
+//! neighbors, and the centralized solutions, the distributed protocol and
+//! the specification would disagree on border components.
+
+use crate::component::FaultyComponent;
+use distsim::RoundStats;
+use fblock::scheme1::label_safety;
+use fblock::scheme2::label_activation;
+use mesh2d::{Activation, Coord, FaultSet, Mesh2D, Rect, Region};
+
+/// Centralized solution 1 (virtual faulty block + labelling schemes 1 and 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VirtualBlockSolver;
+
+/// The result of solving one component.
+#[derive(Clone, Debug)]
+pub struct ComponentSolution {
+    /// The component's minimum faulty polygon (faults plus forced non-faulty
+    /// nodes), in mesh coordinates.
+    pub polygon: Region,
+    /// Rounds of neighbor information exchange the per-component emulation
+    /// of labelling schemes 1 and 2 needed (the CMFP contribution to
+    /// Figure 11).
+    pub rounds: RoundStats,
+}
+
+impl VirtualBlockSolver {
+    /// Solves a single component.
+    pub fn solve(&self, _mesh: &Mesh2D, component: &FaultyComponent) -> ComponentSolution {
+        let window = window_around(component.virtual_block());
+        let offset = window.min();
+        let window_mesh = Mesh2D::mesh(window.width(), window.height());
+
+        // Translate the component's faults into window coordinates.
+        let local_faults = FaultSet::from_coords(
+            window_mesh,
+            component.iter().map(|c| Coord::new(c.x - offset.x, c.y - offset.y)),
+        );
+
+        // Labelling scheme 1 grows the component into its virtual faulty
+        // block; labelling scheme 2 shrinks it to the minimum polygon.
+        let (safety, rounds1) = label_safety(&window_mesh, &local_faults);
+        let (activation, rounds2) = label_activation(&window_mesh, &local_faults, &safety);
+
+        let polygon = Region::from_coords(
+            activation
+                .coords_where(|&a| a == Activation::Disabled)
+                .map(|c| Coord::new(c.x + offset.x, c.y + offset.y)),
+        );
+        ComponentSolution {
+            polygon,
+            rounds: rounds1.then(rounds2),
+        }
+    }
+}
+
+/// The virtual block expanded by a one-node margin in every direction.
+fn window_around(block: Rect) -> Rect {
+    Rect::new(
+        Coord::new(block.min().x - 1, block.min().y - 1),
+        Coord::new(block.max().x + 1, block.max().y + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::minimum_polygon;
+
+    fn component(list: &[(i32, i32)]) -> FaultyComponent {
+        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+    }
+
+    #[test]
+    fn u_shape_polygon_matches_hull() {
+        let mesh = Mesh2D::square(10);
+        let u = component(&[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)]);
+        let sol = VirtualBlockSolver.solve(&mesh, &u);
+        assert_eq!(sol.polygon, minimum_polygon(&u));
+        assert!(sol.rounds.rounds > 0);
+        assert!(sol.rounds.converged);
+    }
+
+    #[test]
+    fn staircase_polygon_is_the_component() {
+        let mesh = Mesh2D::square(10);
+        let s = component(&[(2, 2), (3, 3), (4, 4)]);
+        let sol = VirtualBlockSolver.solve(&mesh, &s);
+        assert_eq!(sol.polygon, s.region().clone());
+    }
+
+    #[test]
+    fn component_touching_mesh_border_is_handled() {
+        // Components hugging the mesh corner still shrink to their geometric
+        // hull — the emulation's window extends past the border so that the
+        // shrinking rule is not starved of enabled neighbors there.
+        let mesh = Mesh2D::square(6);
+        let corner = component(&[(0, 0), (1, 1), (0, 2)]);
+        let sol = VirtualBlockSolver.solve(&mesh, &corner);
+        assert_eq!(sol.polygon, minimum_polygon(&corner));
+        for c in sol.polygon.iter() {
+            assert!(mesh.contains(c), "the hull never leaves the bounding box");
+        }
+    }
+
+    #[test]
+    fn window_adds_a_margin_on_every_side() {
+        let w = window_around(Rect::new(Coord::new(0, 0), Coord::new(5, 5)));
+        assert_eq!(w, Rect::new(Coord::new(-1, -1), Coord::new(6, 6)));
+        let w2 = window_around(Rect::new(Coord::new(2, 2), Coord::new(3, 3)));
+        assert_eq!(w2, Rect::new(Coord::new(1, 1), Coord::new(4, 4)));
+    }
+
+    #[test]
+    fn solution_equals_specification_on_many_shapes() {
+        let mesh = Mesh2D::square(16);
+        let shapes: Vec<Vec<(i32, i32)>> = vec![
+            vec![(5, 5)],
+            vec![(3, 3), (4, 4), (5, 5), (6, 6)],
+            vec![(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)],
+            vec![(0, 2), (1, 1), (2, 0), (3, 1), (4, 2)],
+            vec![(8, 8), (9, 8), (10, 8), (8, 9), (10, 9), (8, 10), (9, 10), (10, 10)],
+            vec![(0, 0), (1, 1), (0, 2), (1, 3), (2, 2), (3, 3), (4, 4), (3, 5), (4, 5), (5, 6)],
+        ];
+        for shape in shapes {
+            let comp = component(&shape);
+            let sol = VirtualBlockSolver.solve(&mesh, &comp);
+            assert_eq!(sol.polygon, minimum_polygon(&comp), "shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_component_extent() {
+        let mesh = Mesh2D::square(30);
+        let small = component(&[(2, 2), (3, 3)]);
+        let long: Vec<(i32, i32)> = (0..12).map(|i| (i + 2, i + 2)).collect();
+        let large = component(&long);
+        let r_small = VirtualBlockSolver.solve(&mesh, &small).rounds;
+        let r_large = VirtualBlockSolver.solve(&mesh, &large).rounds;
+        assert!(r_large.rounds > r_small.rounds);
+    }
+}

@@ -1,0 +1,330 @@
+//! Boundary nodes, corners, and the boundary-ring walk.
+//!
+//! The construction of a component's minimum polygon is carried out by its
+//! *boundary nodes*: nodes outside the component but adjacent to it. A node
+//! directly north of a component node is a *north boundary node*, and
+//! similarly for the other sides; a node can carry several boundary roles at
+//! once. Boundary nodes (plus the diagonal outer-corner nodes) form a ring
+//! around the component along which the initiation message travels clockwise.
+//!
+//! Because a concave region can be *closed* (a hole entirely enclosed by the
+//! component), the ring around the hole is disconnected from the outer ring;
+//! the paper handles this by letting the west-most south-west **inner**
+//! corner initiate a separate traversal. Here every 4-connected free region
+//! touching the component gets its own walk.
+
+use crate::component::FaultyComponent;
+use mesh2d::{Connectivity, Coord, Mesh2D, Region};
+use serde::{Deserialize, Serialize};
+
+/// The boundary roles a node can play with respect to one component.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct BoundaryKind {
+    /// The node sits directly north of a component node.
+    pub north: bool,
+    /// The node sits directly south of a component node.
+    pub south: bool,
+    /// The node sits directly east of a component node.
+    pub east: bool,
+    /// The node sits directly west of a component node.
+    pub west: bool,
+}
+
+impl BoundaryKind {
+    /// True when the node carries at least one of the four side roles.
+    pub fn is_side_boundary(&self) -> bool {
+        self.north || self.south || self.east || self.west
+    }
+}
+
+/// Classifies `c` with respect to `component`. Component members themselves
+/// carry no boundary role.
+pub fn classify(component: &FaultyComponent, c: Coord) -> BoundaryKind {
+    if component.contains(c) {
+        return BoundaryKind::default();
+    }
+    BoundaryKind {
+        north: component.contains(c.offset(0, -1)),
+        south: component.contains(c.offset(0, 1)),
+        east: component.contains(c.offset(-1, 0)),
+        west: component.contains(c.offset(1, 0)),
+    }
+}
+
+/// True when `c` is a south-west *outer* corner of the ring: it has a west
+/// boundary neighbor (to its east) and a south boundary neighbor (to its
+/// north), i.e. it sits diagonally south-west of a component corner.
+pub fn is_south_west_outer_corner(component: &FaultyComponent, c: Coord) -> bool {
+    !component.contains(c)
+        && component.contains(c.offset(1, 1))
+        && !component.contains(c.offset(1, 0))
+        && !component.contains(c.offset(0, 1))
+}
+
+/// True when `c` is a south-west *inner* corner: it is an east and a north
+/// boundary node at the same time (the component bends around its south-west
+/// side).
+pub fn is_south_west_inner_corner(component: &FaultyComponent, c: Coord) -> bool {
+    let k = classify(component, c);
+    k.east && k.north
+}
+
+/// All ring nodes of the component: in-mesh, non-component nodes within
+/// Chebyshev distance 1 of the component (side boundary nodes plus outer
+/// corner nodes).
+pub fn ring_nodes(mesh: &Mesh2D, component: &FaultyComponent) -> Region {
+    let mut ring = Region::new();
+    for c in component.iter() {
+        for n in mesh.neighbors8(c) {
+            if !component.contains(n) {
+                ring.insert(n);
+            }
+        }
+    }
+    ring
+}
+
+/// One traversal of a component's boundary: the free region it runs in, the
+/// ordered sequence of ring nodes the token visits (hop by hop), and whether
+/// the region is a closed concave region (a hole) or the outside.
+#[derive(Clone, Debug)]
+pub struct RingWalk {
+    /// The initiator node the walk starts from (the west-most, then
+    /// south-most ring node of the region, matching the overwriting rule's
+    /// eventual winner).
+    pub initiator: Coord,
+    /// The ring nodes in visit order; consecutive entries are 4-adjacent.
+    /// The initiator appears first and the walk ends when the token is back
+    /// at the initiator (the final return hop is not repeated in the list).
+    pub visits: Vec<Coord>,
+    /// Number of hops the token needs to circulate the ring once and return
+    /// to the initiator (one hop per ring node of the walk).
+    pub hops: u32,
+    /// True when this walk surrounds a closed concave region (hole) rather
+    /// than running on the outside of the component.
+    pub is_inner: bool,
+    /// True when the walk visited every ring node of its region; the
+    /// detection of concave sections is provably complete in that case.
+    pub complete: bool,
+}
+
+/// Builds every boundary-ring walk of the component: one for the outer free
+/// region and one per closed concave region (hole).
+pub fn ring_walks(mesh: &Mesh2D, component: &FaultyComponent) -> Vec<RingWalk> {
+    let ring = ring_nodes(mesh, component);
+    if ring.is_empty() {
+        return Vec::new();
+    }
+
+    // Partition the free space around the component into 4-connected regions:
+    // the window is the virtual block plus a one-node margin clipped to the
+    // mesh, which is guaranteed to contain every ring node and to connect the
+    // outside into a single region.
+    let block = component.virtual_block();
+    let min = Coord::new((block.min().x - 1).max(0), (block.min().y - 1).max(0));
+    let max = Coord::new(
+        (block.max().x + 1).min(mesh.width() - 1),
+        (block.max().y + 1).min(mesh.height() - 1),
+    );
+    let window = mesh2d::Rect::new(min, max);
+    let free = Region::from_coords(window.nodes().filter(|c| !component.contains(*c)));
+    let free_regions = free.components(Connectivity::Four);
+
+    let mut walks = Vec::new();
+    for region in free_regions {
+        let ring_in_region = region.intersection(&ring);
+        if ring_in_region.is_empty() {
+            continue;
+        }
+        // A region is "inner" (a hole) when it never touches the window
+        // border: it is completely enclosed by the component.
+        let is_inner = !region.iter().any(|c| window.on_boundary(c));
+        let walk = trace_walk(&ring_in_region, is_inner);
+        walks.push(walk);
+    }
+    walks
+}
+
+/// Traversal of a single 1-node-wide ring band.
+///
+/// The token performs a depth-first walk along the band (4-adjacent hops,
+/// backtracking through already-visited cells when a notch dead-ends), which
+/// is exactly how the circulating initiation message behaves: it hugs the
+/// component, enters every notch, and returns to the initiator. `hops`
+/// counts every hop including the backtracking ones. If the band happens to
+/// be 4-disconnected inside one free region (possible for components pinched
+/// against the mesh border), the remaining pieces are traversed by secondary
+/// initiators, matching the paper's multiple-initiation handling; their hops
+/// accrue to the same walk because they run concurrently with it.
+fn trace_walk(band: &Region, is_inner: bool) -> RingWalk {
+    let initiator = band
+        .iter()
+        .min_by_key(|c| (c.x, c.y))
+        .expect("band is non-empty");
+
+    let mut visits = Vec::with_capacity(band.len());
+    let mut visited = Region::new();
+    let mut hops = 0u32;
+    let mut max_piece_hops = 0u32;
+
+    let mut pending: Vec<Coord> = band.iter().collect();
+    pending.sort_by_key(|c| (c.x, c.y));
+
+    // Primary walk from the west-most south-west ring node, then secondary
+    // walks from the next unvisited initiators (overwriting-rule order).
+    for start in std::iter::once(initiator).chain(pending.into_iter()) {
+        if visited.contains(start) {
+            continue;
+        }
+        let mut piece_nodes = 0u32;
+        let mut path = vec![start];
+        visited.insert(start);
+        visits.push(start);
+        piece_nodes += 1;
+        while let Some(&cur) = path.last() {
+            let next = cur
+                .neighbors4()
+                .into_iter()
+                .filter(|n| band.contains(*n) && !visited.contains(*n))
+                .min_by_key(|n| (n.x, n.y));
+            match next {
+                Some(n) => {
+                    visited.insert(n);
+                    visits.push(n);
+                    path.push(n);
+                    piece_nodes += 1;
+                }
+                None => {
+                    path.pop();
+                }
+            }
+        }
+        // The circulating token passes every ring node of the piece exactly
+        // once on its way back to the initiator, so the piece costs one hop
+        // per ring node.
+        hops += piece_nodes;
+        max_piece_hops = max_piece_hops.max(piece_nodes);
+    }
+    // Concurrent pieces overlap in time: the walk completes when its longest
+    // piece does, but we keep the total in `hops` monotone with band size.
+    let hops = hops.max(max_piece_hops);
+
+    let complete = visited.len() == band.len();
+    RingWalk {
+        initiator,
+        visits,
+        hops,
+        is_inner,
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn component(list: &[(i32, i32)]) -> FaultyComponent {
+        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+    }
+
+    #[test]
+    fn classify_single_node_component() {
+        let c = component(&[(3, 3)]);
+        assert!(classify(&c, Coord::new(3, 4)).north);
+        assert!(classify(&c, Coord::new(3, 2)).south);
+        assert!(classify(&c, Coord::new(4, 3)).east);
+        assert!(classify(&c, Coord::new(2, 3)).west);
+        assert!(!classify(&c, Coord::new(4, 4)).is_side_boundary());
+        assert!(!classify(&c, Coord::new(3, 3)).is_side_boundary());
+    }
+
+    #[test]
+    fn south_west_corners() {
+        let c = component(&[(3, 3), (4, 3), (3, 4), (4, 4)]);
+        assert!(is_south_west_outer_corner(&c, Coord::new(2, 2)));
+        assert!(!is_south_west_outer_corner(&c, Coord::new(2, 3)));
+        // An L-shaped component has an inner SW corner in its armpit.
+        let l = component(&[(2, 2), (2, 3), (2, 4), (3, 2), (4, 2)]);
+        assert!(is_south_west_inner_corner(&l, Coord::new(3, 3)));
+        assert!(!is_south_west_inner_corner(&l, Coord::new(1, 1)));
+    }
+
+    #[test]
+    fn ring_of_interior_single_node_has_eight_nodes() {
+        let mesh = Mesh2D::square(7);
+        let c = component(&[(3, 3)]);
+        let ring = ring_nodes(&mesh, &c);
+        assert_eq!(ring.len(), 8);
+    }
+
+    #[test]
+    fn ring_clipped_at_mesh_corner() {
+        let mesh = Mesh2D::square(7);
+        let c = component(&[(0, 0)]);
+        let ring = ring_nodes(&mesh, &c);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn single_walk_around_interior_component() {
+        let mesh = Mesh2D::square(9);
+        let c = component(&[(4, 4), (5, 4), (4, 5), (5, 5)]);
+        let walks = ring_walks(&mesh, &c);
+        assert_eq!(walks.len(), 1);
+        let w = &walks[0];
+        assert!(!w.is_inner);
+        assert!(w.complete, "walk should visit every ring node");
+        assert_eq!(w.visits.len(), 12, "a 2x2 block has a 12-node ring");
+        assert_eq!(w.initiator, Coord::new(3, 3));
+        assert!(w.hops >= 12);
+        // consecutive visited nodes are 4-adjacent
+        for pair in w.visits.windows(2) {
+            assert!(pair[0].is_neighbor4(pair[1]) || pair[0].is_adjacent8(pair[1]));
+        }
+    }
+
+    #[test]
+    fn hole_produces_an_inner_walk() {
+        // 5x5 ring of faults with a 3x3 hole... use a 3-thick frame around a
+        // single-node hole to keep it small: frame of the 3x3 square.
+        let mesh = Mesh2D::square(9);
+        let frame: Vec<(i32, i32)> = vec![
+            (2, 2),
+            (3, 2),
+            (4, 2),
+            (2, 3),
+            (4, 3),
+            (2, 4),
+            (3, 4),
+            (4, 4),
+        ];
+        let c = component(&frame);
+        let walks = ring_walks(&mesh, &c);
+        assert_eq!(walks.len(), 2);
+        let inner: Vec<_> = walks.iter().filter(|w| w.is_inner).collect();
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].visits, vec![Coord::new(3, 3)]);
+    }
+
+    #[test]
+    fn u_shape_walk_enters_the_notch() {
+        let mesh = Mesh2D::square(9);
+        let u = component(&[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)]);
+        let walks = ring_walks(&mesh, &u);
+        assert_eq!(walks.len(), 1);
+        let w = &walks[0];
+        assert!(w.complete);
+        // the notch nodes (3,3) and (3,4) are ring nodes and must be visited
+        assert!(w.visits.contains(&Coord::new(3, 3)));
+        assert!(w.visits.contains(&Coord::new(3, 4)));
+    }
+
+    #[test]
+    fn border_component_still_gets_a_walk() {
+        let mesh = Mesh2D::square(6);
+        let c = component(&[(0, 0), (1, 0), (0, 1)]);
+        let walks = ring_walks(&mesh, &c);
+        assert_eq!(walks.len(), 1);
+        assert!(walks[0].complete);
+    }
+}

@@ -1,0 +1,26 @@
+//! The distributed minimum faulty polygon construction (Section 3.2).
+//!
+//! The distributed solution is built from three pieces, mirroring the paper:
+//!
+//! * [`boundary`] — boundary-node classification (north / south / east / west
+//!   boundary with respect to a component), the south-west inner and outer
+//!   corners that may initiate the protocol, and the clockwise boundary-ring
+//!   walk itself (including the separate inner rings that surround closed
+//!   concave regions);
+//! * [`ring`] — the circulating initiation message: the boundary array
+//!   `V[1..n](E, S, W, N)`, its per-node update rules, and the detection of
+//!   notification end nodes for concave row and column sections;
+//! * [`notify`] — the notification phase in which each notification end node
+//!   disables every node of its concave section, routing around *blocking
+//!   polygons* (other components that happen to lie on the section) when the
+//!   straight path is interrupted;
+//! * [`protocol`] — the [`protocol::DistributedMfpModel`] fault model that
+//!   ties the phases together, accounts rounds (boundary classification +
+//!   ring circulation + notification, composed in parallel across
+//!   components), and piles the per-component polygons with the superseding
+//!   rule.
+
+pub mod boundary;
+pub mod notify;
+pub mod protocol;
+pub mod ring;

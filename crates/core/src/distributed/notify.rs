@@ -1,0 +1,172 @@
+//! The notification phase: disabling every node of a concave section.
+//!
+//! After the ring traversal, each *notification end node* is in charge of one
+//! concave row/column section: it must tell every node of the section to
+//! become disabled. In the absence of blocking polygons the status message
+//! simply travels straight along the section; when the section overlaps
+//! another faulty component (a *blocking polygon*, Figure 7), the message
+//! routes around that polygon through non-faulty nodes and the overlapped
+//! portion keeps the status assigned by its own component.
+
+use crate::concave::ConcaveSection;
+use mesh2d::{Coord, FaultSet, Mesh2D};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The planned delivery of disable notifications for one concave section.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Notification {
+    /// The section being notified.
+    pub section: ConcaveSection,
+    /// The notification end node that initiates the delivery.
+    pub end_node: Coord,
+    /// Number of hops (rounds) needed to reach the farthest node of the
+    /// section from the end node.
+    pub hops: u32,
+    /// True when a blocking polygon forced the message off the straight path.
+    pub detoured: bool,
+}
+
+/// Plans the notification for one section.
+///
+/// The message starts at `end_node`, walks the section towards its far end,
+/// and detours around faulty nodes (blocking polygons) via breadth-first
+/// search through non-faulty nodes when the straight path is interrupted.
+pub fn plan_notification(
+    mesh: &Mesh2D,
+    faults: &FaultSet,
+    end_node: Coord,
+    section: &ConcaveSection,
+) -> Notification {
+    let nodes = section.nodes();
+    let blocked = nodes.iter().any(|c| faults.is_faulty(*c));
+    if !blocked {
+        // Straight delivery: the farthest node is at one of the two ends.
+        let (a, b) = section.end_nodes();
+        let hops = end_node.manhattan(a).max(end_node.manhattan(b));
+        return Notification {
+            section: *section,
+            end_node,
+            hops,
+            detoured: false,
+        };
+    }
+
+    // Blocking polygons on the section: deliver by BFS through non-faulty
+    // nodes; the cost is the distance to the farthest still-reachable
+    // non-faulty node of the section.
+    let distances = bfs_distances(mesh, faults, end_node);
+    let hops = nodes
+        .iter()
+        .filter(|c| !faults.is_faulty(**c))
+        .filter_map(|c| distances.get(c).copied())
+        .max()
+        .unwrap_or(0);
+    Notification {
+        section: *section,
+        end_node,
+        hops,
+        detoured: true,
+    }
+}
+
+/// Breadth-first hop distances from `from` through non-faulty nodes.
+fn bfs_distances(mesh: &Mesh2D, faults: &FaultSet, from: Coord) -> BTreeMap<Coord, u32> {
+    let mut dist = BTreeMap::new();
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    dist.insert(from, 0);
+    seen.insert(from);
+    queue.push_back(from);
+    while let Some(c) = queue.pop_front() {
+        let d = dist[&c];
+        for n in mesh.neighbors4(c) {
+            if !faults.is_faulty(n) && seen.insert(n) {
+                dist.insert(n, d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concave::Orientation;
+
+    #[test]
+    fn straight_notification_cost_is_section_length() {
+        let mesh = Mesh2D::square(10);
+        let faults = FaultSet::new(mesh);
+        let section = ConcaveSection {
+            orientation: Orientation::Row,
+            line: 4,
+            start: 2,
+            end: 6,
+        };
+        // end node at the west end of the section
+        let n = plan_notification(&mesh, &faults, Coord::new(2, 4), &section);
+        assert_eq!(n.hops, 4);
+        assert!(!n.detoured);
+        // end node adjacent to (but outside) the section still pays the
+        // distance to the far end
+        let n2 = plan_notification(&mesh, &faults, Coord::new(6, 4), &section);
+        assert_eq!(n2.hops, 4);
+    }
+
+    #[test]
+    fn single_node_section_costs_nothing_extra() {
+        let mesh = Mesh2D::square(6);
+        let faults = FaultSet::new(mesh);
+        let section = ConcaveSection {
+            orientation: Orientation::Column,
+            line: 3,
+            start: 3,
+            end: 3,
+        };
+        let n = plan_notification(&mesh, &faults, Coord::new(3, 3), &section);
+        assert_eq!(n.hops, 0);
+        assert!(!n.detoured);
+    }
+
+    #[test]
+    fn blocking_polygon_forces_a_detour() {
+        // Section runs along row 5 from x=2 to x=8; a blocking component
+        // occupies (4,5),(5,5),(6,5) so the message must route around it.
+        let mesh = Mesh2D::square(12);
+        let faults = FaultSet::from_coords(
+            mesh,
+            [Coord::new(4, 5), Coord::new(5, 5), Coord::new(6, 5)],
+        );
+        let section = ConcaveSection {
+            orientation: Orientation::Row,
+            line: 5,
+            start: 2,
+            end: 8,
+        };
+        let n = plan_notification(&mesh, &faults, Coord::new(2, 5), &section);
+        assert!(n.detoured);
+        // straight distance to (8,5) would be 6; the detour around a 3-node
+        // blockage costs 2 extra hops
+        assert_eq!(n.hops, 8);
+    }
+
+    #[test]
+    fn fully_blocked_far_side_is_ignored() {
+        // A wall of faults spanning the whole mesh cuts the section in two;
+        // only the reachable side is counted.
+        let mesh = Mesh2D::square(8);
+        let wall: Vec<Coord> = (0..8).map(|y| Coord::new(4, y)).collect();
+        let faults = FaultSet::from_coords(mesh, wall);
+        let section = ConcaveSection {
+            orientation: Orientation::Row,
+            line: 3,
+            start: 1,
+            end: 6,
+        };
+        let n = plan_notification(&mesh, &faults, Coord::new(1, 3), &section);
+        assert!(n.detoured);
+        assert_eq!(n.hops, 2, "only (2,3) and (3,3) are reachable");
+    }
+}

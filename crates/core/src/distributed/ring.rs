@@ -1,0 +1,332 @@
+//! The circulating initiation message and the boundary array `V`.
+//!
+//! While the initiation message travels around a component's boundary ring,
+//! every east / south / west / north boundary node it passes updates the
+//! corresponding entry of the boundary array `V[1..n](E, S, W, N)` — the row
+//! number of the most recently visited north/south boundary node of each
+//! column, and the column number of the most recently visited east/west
+//! boundary node of each row. A node becomes a **notification end node** when
+//! its own update closes a concave row or column section:
+//!
+//! * an east (west) boundary node fires when the west (east) entry of its row
+//!   records a column no smaller (no larger) than its own;
+//! * a south (north) boundary node fires when the north (south) entry of its
+//!   column records a row no smaller (no larger) than its own.
+//!
+//! Detected sections are clamped to the contiguous run of non-component
+//! nodes containing the detector (a stale entry from an earlier section of
+//! the same line can only widen the span across component nodes, never into
+//! healthy territory that is not actually concave).
+
+use crate::component::FaultyComponent;
+use crate::concave::{ConcaveSection, Orientation};
+use crate::distributed::boundary::{classify, RingWalk};
+use mesh2d::Coord;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The boundary array `V[1..n](E, S, W, N)` carried by the initiation
+/// message. Entries are created lazily (the paper initialises them to "-").
+#[derive(Clone, Debug, Default)]
+pub struct BoundaryArray {
+    /// Row → column of the most recently visited east boundary node.
+    east: BTreeMap<i32, i32>,
+    /// Row → column of the most recently visited west boundary node.
+    west: BTreeMap<i32, i32>,
+    /// Column → row of the most recently visited north boundary node.
+    north: BTreeMap<i32, i32>,
+    /// Column → row of the most recently visited south boundary node.
+    south: BTreeMap<i32, i32>,
+}
+
+impl BoundaryArray {
+    /// Looks up the east entry of a row (used by tests).
+    pub fn east_of_row(&self, row: i32) -> Option<i32> {
+        self.east.get(&row).copied()
+    }
+
+    /// Looks up the west entry of a row.
+    pub fn west_of_row(&self, row: i32) -> Option<i32> {
+        self.west.get(&row).copied()
+    }
+
+    /// Looks up the north entry of a column.
+    pub fn north_of_column(&self, col: i32) -> Option<i32> {
+        self.north.get(&col).copied()
+    }
+
+    /// Looks up the south entry of a column.
+    pub fn south_of_column(&self, col: i32) -> Option<i32> {
+        self.south.get(&col).copied()
+    }
+}
+
+/// A concave section detected during the ring traversal, together with the
+/// notification end node in charge of it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DetectedSection {
+    /// The boundary node that detected (and will notify) the section.
+    pub notification_end: Coord,
+    /// The concave row or column section itself.
+    pub section: ConcaveSection,
+}
+
+/// The result of processing one ring walk.
+#[derive(Clone, Debug)]
+pub struct RingOutcome {
+    /// Sections detected during the traversal (deduplicated).
+    pub detected: Vec<DetectedSection>,
+    /// Hops the initiation message travelled.
+    pub hops: u32,
+    /// Whether the walk covered every ring node of its free region.
+    pub complete: bool,
+    /// Final state of the boundary array (exposed for tests and traces).
+    pub boundary_array: BoundaryArray,
+}
+
+/// Replays the boundary-array protocol along one ring walk.
+pub fn process_walk(component: &FaultyComponent, walk: &RingWalk) -> RingOutcome {
+    let mut v = BoundaryArray::default();
+    let mut detected = Vec::new();
+    let mut seen: BTreeSet<(u8, i32, i32, i32)> = BTreeSet::new();
+
+    for &node in &walk.visits {
+        let kind = classify(component, node);
+        if !kind.is_side_boundary() {
+            continue;
+        }
+        // Step (a): update the boundary array entries for every role the
+        // node carries (all with the same timestamp).
+        if kind.east {
+            v.east.insert(node.y, node.x);
+        }
+        if kind.west {
+            v.west.insert(node.y, node.x);
+        }
+        if kind.north {
+            v.north.insert(node.x, node.y);
+        }
+        if kind.south {
+            v.south.insert(node.x, node.y);
+        }
+        // Step (b): check whether this node closes a concave section.
+        let mut fire = |section: Option<ConcaveSection>| {
+            if let Some(section) = section {
+                let key = (
+                    matches!(section.orientation, Orientation::Row) as u8,
+                    section.line,
+                    section.start,
+                    section.end,
+                );
+                if seen.insert(key) {
+                    detected.push(DetectedSection {
+                        notification_end: node,
+                        section,
+                    });
+                }
+            }
+        };
+        if kind.east {
+            if let Some(w) = v.west_of_row(node.y) {
+                if w >= node.x {
+                    fire(clamp_row_section(component, node.y, node.x, w, node.x));
+                }
+            }
+        }
+        if kind.west {
+            if let Some(e) = v.east_of_row(node.y) {
+                if e <= node.x {
+                    fire(clamp_row_section(component, node.y, e, node.x, node.x));
+                }
+            }
+        }
+        if kind.south {
+            if let Some(n) = v.north_of_column(node.x) {
+                if n <= node.y {
+                    fire(clamp_column_section(component, node.x, n, node.y, node.y));
+                }
+            }
+        }
+        if kind.north {
+            if let Some(s) = v.south_of_column(node.x) {
+                if s >= node.y {
+                    fire(clamp_column_section(component, node.x, node.y, s, node.y));
+                }
+            }
+        }
+    }
+
+    RingOutcome {
+        detected,
+        hops: walk.hops,
+        complete: walk.complete,
+        boundary_array: v,
+    }
+}
+
+/// Clamps the raw span `[lo, hi]` of row `row` to the contiguous run of
+/// non-component nodes containing `anchor`, and keeps it only when the run is
+/// bounded by component nodes on both sides (a genuine concave section).
+fn clamp_row_section(
+    component: &FaultyComponent,
+    row: i32,
+    lo: i32,
+    hi: i32,
+    anchor: i32,
+) -> Option<ConcaveSection> {
+    let (start, end) = clamp_run(lo, hi, anchor, |v| component.contains(Coord::new(v, row)))?;
+    Some(ConcaveSection {
+        orientation: Orientation::Row,
+        line: row,
+        start,
+        end,
+    })
+}
+
+/// Column analogue of [`clamp_row_section`].
+fn clamp_column_section(
+    component: &FaultyComponent,
+    col: i32,
+    lo: i32,
+    hi: i32,
+    anchor: i32,
+) -> Option<ConcaveSection> {
+    let (start, end) = clamp_run(lo, hi, anchor, |v| component.contains(Coord::new(col, v)))?;
+    Some(ConcaveSection {
+        orientation: Orientation::Column,
+        line: col,
+        start,
+        end,
+    })
+}
+
+/// Shrinks `[lo, hi]` to the maximal sub-run of non-member positions that
+/// contains `anchor`; requires both immediate outside neighbors of the run to
+/// be members so the run really lies *between* two component nodes.
+fn clamp_run(lo: i32, hi: i32, anchor: i32, is_member: impl Fn(i32) -> bool) -> Option<(i32, i32)> {
+    debug_assert!(lo <= anchor && anchor <= hi);
+    if is_member(anchor) {
+        return None;
+    }
+    let mut start = anchor;
+    while start > lo && !is_member(start - 1) {
+        start -= 1;
+    }
+    let mut end = anchor;
+    while end < hi && !is_member(end + 1) {
+        end += 1;
+    }
+    (is_member(start - 1) && is_member(end + 1)).then_some((start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concave::concave_sections;
+    use crate::distributed::boundary::ring_walks;
+    use mesh2d::{Mesh2D, Region};
+
+    fn component(list: &[(i32, i32)]) -> FaultyComponent {
+        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+    }
+
+    fn detect_all(mesh: &Mesh2D, comp: &FaultyComponent) -> Vec<ConcaveSection> {
+        let mut out: Vec<ConcaveSection> = Vec::new();
+        for walk in ring_walks(mesh, comp) {
+            let outcome = process_walk(comp, &walk);
+            assert!(outcome.complete, "walk must visit every ring node");
+            for d in outcome.detected {
+                if !out.contains(&d.section) {
+                    out.push(d.section);
+                }
+            }
+        }
+        out
+    }
+
+    fn sections_as_region(sections: &[ConcaveSection]) -> Region {
+        Region::from_coords(sections.iter().flat_map(|s| s.nodes()))
+    }
+
+    #[test]
+    fn convex_component_detects_nothing() {
+        let mesh = Mesh2D::square(10);
+        let comp = component(&[(2, 4), (3, 4), (4, 3)]);
+        assert!(detect_all(&mesh, &comp).is_empty());
+    }
+
+    #[test]
+    fn u_shape_detection_matches_definition_3() {
+        let mesh = Mesh2D::square(10);
+        let comp = component(&[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)]);
+        let detected = sections_as_region(&detect_all(&mesh, &comp));
+        let geometric = sections_as_region(&concave_sections(&comp));
+        assert_eq!(detected, geometric);
+        assert!(detected.contains(Coord::new(3, 3)));
+        assert!(detected.contains(Coord::new(3, 4)));
+    }
+
+    #[test]
+    fn hole_is_detected_from_the_inner_ring() {
+        let mesh = Mesh2D::square(10);
+        let frame = component(&[
+            (2, 2),
+            (3, 2),
+            (4, 2),
+            (2, 3),
+            (4, 3),
+            (2, 4),
+            (3, 4),
+            (4, 4),
+        ]);
+        let detected = sections_as_region(&detect_all(&mesh, &frame));
+        assert!(detected.contains(Coord::new(3, 3)));
+    }
+
+    #[test]
+    fn detection_covers_hull_on_varied_shapes() {
+        let mesh = Mesh2D::square(16);
+        let shapes: Vec<Vec<(i32, i32)>> = vec![
+            vec![(0, 2), (1, 1), (2, 0), (3, 1), (4, 2)],
+            vec![(2, 2), (2, 3), (2, 4), (3, 2), (4, 2), (4, 3)],
+            vec![(0, 0), (1, 1), (0, 2), (1, 3), (2, 2), (3, 3), (4, 4), (3, 5), (4, 5), (5, 6)],
+            vec![(5, 5), (6, 6), (7, 5), (6, 4)],
+            vec![(1, 1), (2, 1), (3, 1), (1, 2), (3, 2), (1, 3), (2, 3), (3, 3), (1, 4), (3, 4), (1, 5), (2, 5), (3, 5)],
+        ];
+        for shape in shapes {
+            let comp = component(&shape);
+            let detected = sections_as_region(&detect_all(&mesh, &comp));
+            let polygon = comp.region().union(&detected);
+            assert_eq!(
+                polygon,
+                crate::hull::minimum_polygon(&comp),
+                "shape {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clamp_run_bounds() {
+        // membership: columns 4,5,6 are component
+        let member = |v: i32| (4..=6).contains(&v);
+        assert_eq!(clamp_run(2, 9, 8, member), Some((7, 9)).filter(|_| member(10)));
+        // with a proper closing member at 10:
+        let member2 = |v: i32| (4..=6).contains(&v) || v == 10 || v == 1;
+        assert_eq!(clamp_run(2, 9, 8, member2), Some((7, 9)));
+        assert_eq!(clamp_run(2, 9, 2, member2), Some((2, 3)));
+        assert_eq!(clamp_run(2, 9, 5, member2), None, "anchor inside the component");
+    }
+
+    #[test]
+    fn boundary_array_records_latest_visit() {
+        let mesh = Mesh2D::square(10);
+        let comp = component(&[(3, 3), (4, 3)]);
+        let walks = ring_walks(&mesh, &comp);
+        let outcome = process_walk(&comp, &walks[0]);
+        // north boundary of column 3 is (3,4); south boundary is (3,2)
+        assert_eq!(outcome.boundary_array.north_of_column(3), Some(4));
+        assert_eq!(outcome.boundary_array.south_of_column(3), Some(2));
+        assert_eq!(outcome.boundary_array.west_of_row(3), Some(2));
+        assert_eq!(outcome.boundary_array.east_of_row(3), Some(5));
+        assert!(outcome.detected.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! The local-rule engine: synchronous neighborhood updates to a fixpoint.
+//!
+//! A *local rule* computes a node's next state from its own state and the
+//! current states of its mesh (4-)neighbors. All nodes update synchronously;
+//! one sweep over the network is one **round**, matching the paper's
+//! "rounds of information exchanges and updates between neighbors". Both
+//! labelling schemes of Section 2.3 are local rules and are executed on this
+//! engine (see the `fblock` crate).
+
+use crate::RoundStats;
+use mesh2d::{Coord, Grid, Mesh2D};
+
+/// A protocol in which every node repeatedly recomputes its state from its
+/// 4-neighborhood.
+pub trait LocalRuleAutomaton {
+    /// Per-node protocol state.
+    type State: Clone + PartialEq;
+
+    /// The initial state of node `c`.
+    fn init(&self, c: Coord) -> Self::State;
+
+    /// Computes the next state of node `c` given its current state and the
+    /// current states of its in-mesh 4-neighbors.
+    fn step(&self, c: Coord, current: &Self::State, neighbors: &[(Coord, &Self::State)]) -> Self::State;
+}
+
+/// Runs `automaton` on `mesh` until a fixpoint is reached.
+///
+/// Returns the final per-node states and the round statistics. The fixpoint
+/// is guaranteed to be reached for monotone rules (both labelling schemes are
+/// monotone), but callers that are unsure can use
+/// [`run_local_rule_with_limit`].
+pub fn run_local_rule<A: LocalRuleAutomaton>(mesh: &Mesh2D, automaton: &A) -> (Grid<A::State>, RoundStats) {
+    run_local_rule_with_limit(mesh, automaton, u32::MAX)
+}
+
+/// Runs `automaton` on `mesh` until a fixpoint is reached or `max_rounds`
+/// rounds have been executed.
+pub fn run_local_rule_with_limit<A: LocalRuleAutomaton>(
+    mesh: &Mesh2D,
+    automaton: &A,
+    max_rounds: u32,
+) -> (Grid<A::State>, RoundStats) {
+    let mut states = Grid::from_fn(mesh.width() as u32, mesh.height() as u32, |c| automaton.init(c));
+    let mut stats = RoundStats::quiescent();
+
+    let mut neighbor_buf: Vec<(Coord, A::State)> = Vec::with_capacity(4);
+    loop {
+        if stats.rounds >= max_rounds {
+            stats.converged = false;
+            break;
+        }
+        let mut changes: Vec<(Coord, A::State)> = Vec::new();
+        for c in mesh.nodes() {
+            neighbor_buf.clear();
+            for n in mesh.neighbors4(c) {
+                neighbor_buf.push((n, states[n].clone()));
+            }
+            let borrowed: Vec<(Coord, &A::State)> = neighbor_buf.iter().map(|(n, s)| (*n, s)).collect();
+            let next = automaton.step(c, &states[c], &borrowed);
+            if next != states[c] {
+                changes.push((c, next));
+            }
+        }
+        if changes.is_empty() {
+            break;
+        }
+        stats.rounds += 1;
+        stats.events += changes.len() as u64;
+        for (c, s) in changes {
+            states[c] = s;
+        }
+    }
+    (states, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy rule: a node becomes "hot" when any neighbor is hot. Starting
+    /// from a single hot node this floods the mesh, one Manhattan-distance
+    /// ring per round — an easy way to validate round counting.
+    struct Flood {
+        source: Coord,
+    }
+
+    impl LocalRuleAutomaton for Flood {
+        type State = bool;
+        fn init(&self, c: Coord) -> bool {
+            c == self.source
+        }
+        fn step(&self, _c: Coord, current: &bool, neighbors: &[(Coord, &bool)]) -> bool {
+            *current || neighbors.iter().any(|(_, &s)| s)
+        }
+    }
+
+    #[test]
+    fn flood_round_count_equals_eccentricity() {
+        let mesh = Mesh2D::square(6);
+        let (states, stats) = run_local_rule(&mesh, &Flood { source: Coord::new(0, 0) });
+        assert!(stats.converged);
+        // the farthest node is at Manhattan distance 10
+        assert_eq!(stats.rounds, 10);
+        assert!(mesh.nodes().all(|c| states[c]));
+    }
+
+    #[test]
+    fn flood_from_center_is_faster() {
+        let mesh = Mesh2D::square(7);
+        let (_, corner) = run_local_rule(&mesh, &Flood { source: Coord::new(0, 0) });
+        let (_, center) = run_local_rule(&mesh, &Flood { source: Coord::new(3, 3) });
+        assert!(center.rounds < corner.rounds);
+        assert_eq!(center.rounds, 6);
+    }
+
+    #[test]
+    fn already_stable_rule_takes_zero_rounds() {
+        struct Constant;
+        impl LocalRuleAutomaton for Constant {
+            type State = u8;
+            fn init(&self, _c: Coord) -> u8 {
+                42
+            }
+            fn step(&self, _c: Coord, current: &u8, _n: &[(Coord, &u8)]) -> u8 {
+                *current
+            }
+        }
+        let mesh = Mesh2D::square(4);
+        let (states, stats) = run_local_rule(&mesh, &Constant);
+        assert_eq!(stats.rounds, 0);
+        assert!(stats.converged);
+        assert_eq!(stats.events, 0);
+        assert!(mesh.nodes().all(|c| states[c] == 42));
+    }
+
+    #[test]
+    fn round_limit_reports_non_convergence() {
+        let mesh = Mesh2D::square(8);
+        let (_, stats) = run_local_rule_with_limit(&mesh, &Flood { source: Coord::new(0, 0) }, 3);
+        assert_eq!(stats.rounds, 3);
+        assert!(!stats.converged);
+    }
+
+    #[test]
+    fn events_count_state_changes() {
+        let mesh = Mesh2D::square(3);
+        let (_, stats) = run_local_rule(&mesh, &Flood { source: Coord::new(1, 1) });
+        // every node except the source changes exactly once
+        assert_eq!(stats.events, (mesh.node_count() - 1) as u64);
+    }
+
+    #[test]
+    fn torus_flood_wraps_around() {
+        let mesh = Mesh2D::torus(6, 6);
+        let (_, stats) = run_local_rule(&mesh, &Flood { source: Coord::new(0, 0) });
+        // torus diameter is 6 for a 6x6 torus
+        assert_eq!(stats.rounds, 6);
+    }
+}

@@ -1,0 +1,252 @@
+//! The message-passing engine: explicit messages delivered one hop per round.
+//!
+//! The distributed minimum-polygon construction of Section 3.2 is not a pure
+//! neighborhood rule — the boundary-ring initiation message and the concave
+//! section notifications travel hop by hop around a component, carrying a
+//! payload (the initiator id and the boundary array `V`). [`MessageEngine`]
+//! models exactly that: in each round, every node processes the messages
+//! delivered to it in the previous round, may update its local state, and may
+//! emit messages to adjacent nodes, which arrive in the next round.
+
+use crate::RoundStats;
+use mesh2d::{Coord, Mesh2D};
+use std::collections::BTreeMap;
+
+/// A message in flight: destination and payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The node the message is addressed to. Must be an in-mesh coordinate
+    /// adjacent (8-neighborhood) to the sender; the engine enforces mesh
+    /// membership and debug-asserts adjacency so protocols cannot cheat with
+    /// long-distance hops.
+    pub to: Coord,
+    /// Protocol payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Convenience constructor.
+    pub fn new(to: Coord, payload: M) -> Self {
+        Envelope { to, payload }
+    }
+}
+
+/// A distributed protocol expressed as per-node reactions to delivered
+/// messages.
+pub trait MessageAutomaton {
+    /// Per-node protocol state.
+    type State: Clone;
+    /// Message payload type.
+    type Msg: Clone;
+
+    /// Initial state of node `c`, plus any messages it spontaneously sends in
+    /// round 1 (used by protocol initiators).
+    fn init(&self, c: Coord) -> (Self::State, Vec<Envelope<Self::Msg>>);
+
+    /// Processes the inbox delivered to node `c` this round. `inbox` is
+    /// sorted by sender coordinate for determinism. Returns the messages to
+    /// send; they will be delivered next round.
+    fn on_deliver(
+        &self,
+        c: Coord,
+        state: &mut Self::State,
+        inbox: &[(Coord, Self::Msg)],
+    ) -> Vec<Envelope<Self::Msg>>;
+}
+
+/// Executes a [`MessageAutomaton`] until quiescence (no messages in flight).
+pub struct MessageEngine<'m, A: MessageAutomaton> {
+    mesh: &'m Mesh2D,
+    automaton: A,
+    states: BTreeMap<Coord, A::State>,
+    /// Messages to be delivered in the next round, keyed by destination; the
+    /// inner vector keeps (sender, payload) pairs.
+    in_flight: BTreeMap<Coord, Vec<(Coord, A::Msg)>>,
+    stats: RoundStats,
+}
+
+impl<'m, A: MessageAutomaton> MessageEngine<'m, A> {
+    /// Initialises every node and collects the initiators' first messages.
+    pub fn new(mesh: &'m Mesh2D, automaton: A) -> Self {
+        let mut states = BTreeMap::new();
+        let mut in_flight: BTreeMap<Coord, Vec<(Coord, A::Msg)>> = BTreeMap::new();
+        for c in mesh.nodes() {
+            let (state, outgoing) = automaton.init(c);
+            states.insert(c, state);
+            for env in outgoing {
+                debug_assert!(
+                    c.is_adjacent8(env.to) || c == env.to,
+                    "initial message from {c} to non-adjacent {}",
+                    env.to
+                );
+                if mesh.contains(env.to) {
+                    in_flight.entry(env.to).or_default().push((c, env.payload));
+                }
+            }
+        }
+        MessageEngine {
+            mesh,
+            automaton,
+            states,
+            in_flight,
+            stats: RoundStats::quiescent(),
+        }
+    }
+
+    /// Executes one round: deliver all in-flight messages, collect new ones.
+    /// Returns `false` when the system was already quiescent.
+    pub fn step(&mut self) -> bool {
+        if self.in_flight.is_empty() {
+            return false;
+        }
+        let deliveries = std::mem::take(&mut self.in_flight);
+        self.stats.rounds += 1;
+        for (dest, mut inbox) in deliveries {
+            inbox.sort_by_key(|(sender, _)| *sender);
+            self.stats.events += inbox.len() as u64;
+            let state = self
+                .states
+                .get_mut(&dest)
+                .expect("message delivered to node outside the mesh");
+            let outgoing = self.automaton.on_deliver(dest, state, &inbox);
+            for env in outgoing {
+                debug_assert!(
+                    dest.is_adjacent8(env.to) || dest == env.to,
+                    "message from {dest} to non-adjacent {}",
+                    env.to
+                );
+                if self.mesh.contains(env.to) {
+                    self.in_flight.entry(env.to).or_default().push((dest, env.payload));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs rounds until quiescence or until `max_rounds` is hit.
+    pub fn run(&mut self, max_rounds: u32) -> RoundStats {
+        while self.stats.rounds < max_rounds {
+            if !self.step() {
+                self.stats.converged = true;
+                return self.stats;
+            }
+        }
+        self.stats.converged = self.in_flight.is_empty();
+        self.stats
+    }
+
+    /// The final (or current) state of node `c`.
+    pub fn state(&self, c: Coord) -> &A::State {
+        &self.states[&c]
+    }
+
+    /// Iterates over all node states.
+    pub fn states(&self) -> impl Iterator<Item = (Coord, &A::State)> + '_ {
+        self.states.iter().map(|(c, s)| (*c, s))
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> RoundStats {
+        self.stats
+    }
+
+    /// The mesh the protocol runs on.
+    pub fn mesh(&self) -> &Mesh2D {
+        self.mesh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A token that travels east from (0, 0) to the end of the row, counting
+    /// hops in each node it visits.
+    struct EastToken;
+
+    #[derive(Clone, Default)]
+    struct Visit {
+        visited_at_round: Option<u32>,
+    }
+
+    impl MessageAutomaton for EastToken {
+        type State = Visit;
+        type Msg = u32; // hop count
+
+        fn init(&self, c: Coord) -> (Visit, Vec<Envelope<u32>>) {
+            if c == Coord::new(0, 0) {
+                (
+                    Visit {
+                        visited_at_round: Some(0),
+                    },
+                    vec![Envelope::new(Coord::new(1, 0), 1)],
+                )
+            } else {
+                (Visit::default(), vec![])
+            }
+        }
+
+        fn on_deliver(&self, c: Coord, state: &mut Visit, inbox: &[(Coord, u32)]) -> Vec<Envelope<u32>> {
+            let &(_, hops) = inbox.first().expect("delivered with empty inbox");
+            state.visited_at_round = Some(hops);
+            vec![Envelope::new(c.offset(1, 0), hops + 1)]
+        }
+    }
+
+    #[test]
+    fn token_crosses_row_in_width_minus_one_rounds() {
+        let mesh = Mesh2D::mesh(6, 2);
+        let mut engine = MessageEngine::new(&mesh, EastToken);
+        let stats = engine.run(100);
+        assert!(stats.converged);
+        // 5 hops to reach (5, 0); the 6th round delivers to (6,0) which is
+        // outside the mesh and therefore dropped at send time, so rounds = 5.
+        assert_eq!(stats.rounds, 5);
+        for x in 0..6 {
+            assert_eq!(
+                engine.state(Coord::new(x, 0)).visited_at_round,
+                Some(x as u32),
+                "node ({x},0)"
+            );
+        }
+        assert_eq!(engine.state(Coord::new(3, 1)).visited_at_round, None);
+    }
+
+    #[test]
+    fn quiescent_protocol_runs_zero_rounds() {
+        struct Silent;
+        impl MessageAutomaton for Silent {
+            type State = ();
+            type Msg = ();
+            fn init(&self, _c: Coord) -> ((), Vec<Envelope<()>>) {
+                ((), vec![])
+            }
+            fn on_deliver(&self, _c: Coord, _s: &mut (), _i: &[(Coord, ())]) -> Vec<Envelope<()>> {
+                vec![]
+            }
+        }
+        let mesh = Mesh2D::square(4);
+        let mut engine = MessageEngine::new(&mesh, Silent);
+        let stats = engine.run(10);
+        assert_eq!(stats.rounds, 0);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn round_limit_stops_execution() {
+        let mesh = Mesh2D::mesh(10, 1);
+        let mut engine = MessageEngine::new(&mesh, EastToken);
+        let stats = engine.run(3);
+        assert_eq!(stats.rounds, 3);
+        assert!(!stats.converged);
+    }
+
+    #[test]
+    fn events_count_deliveries() {
+        let mesh = Mesh2D::mesh(4, 1);
+        let mut engine = MessageEngine::new(&mesh, EastToken);
+        let stats = engine.run(100);
+        // deliveries at (1,0), (2,0), (3,0)
+        assert_eq!(stats.events, 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Regenerates the paper's figures as plain-text tables.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin paper-figures -- all
+//! cargo run --release -p experiments --bin paper-figures -- fig9a fig11b
+//! cargo run --release -p experiments --bin paper-figures -- --quick all
+//! cargo run --release -p experiments --bin paper-figures -- --trials 3 fig10a
+//! ```
+//!
+//! `--quick` runs a small 30×30 sweep (useful as a smoke test); the default
+//! reproduces the paper's 100×100 mesh with 100..800 faults.
+
+use experiments::fig10::figure10;
+use experiments::fig11::figure11;
+use experiments::fig9::{figure9, figure9_raw};
+use experiments::{render_table, run_sweep, SweepConfig, SweepResult};
+use faultgen::FaultDistribution;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paper-figures [--quick] [--trials N] [--csv] <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut csv = false;
+    let mut trials: Option<u32> = None;
+    let mut figures: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => csv = true,
+            "--trials" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                trials = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => figures.push(other.to_string()),
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+
+    let mut config = if quick { SweepConfig::quick() } else { SweepConfig::default() };
+    if let Some(t) = trials {
+        config.trials = t;
+    }
+
+    let wants = |name: &str| figures.iter().any(|f| f == name || f == "all");
+    let need_random = ["fig9a", "fig10a", "fig11a"].iter().any(|f| wants(f));
+    let need_clustered = ["fig9b", "fig10b", "fig11b"].iter().any(|f| wants(f));
+
+    let random = need_random.then(|| run_sweep(&config, FaultDistribution::Random));
+    let clustered = need_clustered.then(|| run_sweep(&config, FaultDistribution::Clustered));
+
+    let emit = |series: &experiments::Series| {
+        if csv {
+            print!("{}", experiments::render_csv(series));
+        } else {
+            println!("{}", render_table(series));
+        }
+    };
+
+    let print_for = |result: &SweepResult, fig9_wanted: bool, fig10_wanted: bool, fig11_wanted: bool| {
+        if fig9_wanted {
+            emit(&figure9(result));
+            emit(&figure9_raw(result));
+        }
+        if fig10_wanted {
+            emit(&figure10(result));
+        }
+        if fig11_wanted {
+            emit(&figure11(result));
+        }
+    };
+
+    if let Some(r) = &random {
+        print_for(r, wants("fig9a"), wants("fig10a"), wants("fig11a"));
+    }
+    if let Some(c) = &clustered {
+        print_for(c, wants("fig9b"), wants("fig10b"), wants("fig11b"));
+    }
+}

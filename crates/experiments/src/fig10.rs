@@ -1,0 +1,78 @@
+//! Figure 10: average size of a faulty block / polygon (faulty plus
+//! non-faulty nodes it contains) under FB, FP and MFP.
+
+use crate::sweep::SweepResult;
+use crate::table::Series;
+
+/// Extracts the Figure 10 series.
+pub fn figure10(result: &SweepResult) -> Series {
+    let label = match result.distribution {
+        faultgen::FaultDistribution::Random => "(a) random fault distribution",
+        faultgen::FaultDistribution::Clustered => "(b) clustered fault distribution",
+    };
+    let mut series = Series::new(
+        format!("Figure 10 {label}: average size of fault block/polygon"),
+        "faults".to_string(),
+        vec!["FB".into(), "FP".into(), "MFP".into()],
+    );
+    for p in &result.points {
+        series.push_row(
+            p.fault_count,
+            vec![p.fb.avg_region_size, p.fp.avg_region_size, p.cmfp.avg_region_size],
+        );
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+    use faultgen::FaultDistribution;
+
+    #[test]
+    fn mfp_regions_are_smallest_on_average() {
+        for dist in FaultDistribution::ALL {
+            let result = run_sweep(&SweepConfig::quick(), dist);
+            let series = figure10(&result);
+            let fb = series.curve("FB").unwrap();
+            let fp = series.curve("FP").unwrap();
+            let mfp = series.curve("MFP").unwrap();
+            for i in 0..fb.len() {
+                assert!(mfp[i] <= fb[i] + 1e-9, "{dist:?}: MFP should not exceed FB");
+                assert!(fp[i] <= fb[i] + 1e-9, "{dist:?}: FP should not exceed FB");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_blocks_are_larger_than_random_blocks() {
+        // The paper: under the clustered model the average faulty block size
+        // can be several times that of the random model.
+        let config = SweepConfig {
+            mesh_size: 40,
+            fault_counts: vec![120],
+            trials: 3,
+            base_seed: 11,
+        };
+        let random = run_sweep(&config, FaultDistribution::Random);
+        let clustered = run_sweep(&config, FaultDistribution::Clustered);
+        let fb_random = figure10(&random).curve("FB").unwrap()[0];
+        let fb_clustered = figure10(&clustered).curve("FB").unwrap()[0];
+        assert!(
+            fb_clustered > fb_random,
+            "clustered {fb_clustered} vs random {fb_random}"
+        );
+    }
+
+    #[test]
+    fn every_region_contains_at_least_one_node() {
+        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Random);
+        let series = figure10(&result);
+        for (_, values) in &series.rows {
+            for v in values {
+                assert!(*v >= 1.0);
+            }
+        }
+    }
+}

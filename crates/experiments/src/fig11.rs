@@ -1,0 +1,73 @@
+//! Figure 11: average number of rounds for status determination under FB,
+//! FP, CMFP (centralized) and DMFP (distributed).
+
+use crate::sweep::SweepResult;
+use crate::table::Series;
+
+/// Extracts the Figure 11 series.
+pub fn figure11(result: &SweepResult) -> Series {
+    let label = match result.distribution {
+        faultgen::FaultDistribution::Random => "(a) random fault distribution",
+        faultgen::FaultDistribution::Clustered => "(b) clustered fault distribution",
+    };
+    let mut series = Series::new(
+        format!("Figure 11 {label}: average # of rounds for status determination"),
+        "faults".to_string(),
+        vec!["FB".into(), "FP".into(), "CMFP".into(), "DMFP".into()],
+    );
+    for p in &result.points {
+        series.push_row(
+            p.fault_count,
+            vec![p.fb.rounds, p.fp.rounds, p.cmfp.rounds, p.dmfp.rounds],
+        );
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+    use faultgen::FaultDistribution;
+
+    #[test]
+    fn fp_needs_more_rounds_than_fb_and_cmfp_fewer_than_fb() {
+        // The orderings reported in the paper: FP > FB (extra scheme-2
+        // rounds) and CMFP < FB once faulty blocks grow beyond components.
+        let config = SweepConfig {
+            mesh_size: 40,
+            fault_counts: vec![150],
+            trials: 3,
+            base_seed: 3,
+        };
+        for dist in FaultDistribution::ALL {
+            let result = run_sweep(&config, dist);
+            let series = figure11(&result);
+            let fb = series.curve("FB").unwrap()[0];
+            let fp = series.curve("FP").unwrap()[0];
+            let cmfp = series.curve("CMFP").unwrap()[0];
+            assert!(fp >= fb, "{dist:?}: FP {fp} vs FB {fb}");
+            assert!(cmfp <= fp, "{dist:?}: CMFP {cmfp} vs FP {fp}");
+        }
+    }
+
+    #[test]
+    fn dmfp_needs_more_rounds_than_cmfp() {
+        // The distributed construction circles each component, so it pays
+        // more rounds than the centralized emulation.
+        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Clustered);
+        let series = figure11(&result);
+        let cmfp = series.curve("CMFP").unwrap();
+        let dmfp = series.curve("DMFP").unwrap();
+        for i in 0..cmfp.len() {
+            assert!(dmfp[i] >= cmfp[i]);
+        }
+    }
+
+    #[test]
+    fn figure11_has_four_curves() {
+        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Random);
+        let series = figure11(&result);
+        assert_eq!(series.curves, vec!["FB", "FP", "CMFP", "DMFP"]);
+    }
+}

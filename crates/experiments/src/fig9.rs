@@ -1,0 +1,94 @@
+//! Figure 9: average number of non-faulty but disabled nodes under FB, FP
+//! and MFP, on a log₁₀ scale, for the random (a) and clustered (b) fault
+//! distribution models.
+
+use crate::sweep::SweepResult;
+use crate::table::Series;
+
+/// Extracts the Figure 9 series (log₁₀ of the disabled-node counts, as the
+/// paper plots them; zero counts are reported as -1 to match the paper's
+/// bottom-of-axis convention).
+pub fn figure9(result: &SweepResult) -> Series {
+    let label = match result.distribution {
+        faultgen::FaultDistribution::Random => "(a) random fault distribution",
+        faultgen::FaultDistribution::Clustered => "(b) clustered fault distribution",
+    };
+    let mut series = Series::new(
+        format!("Figure 9 {label}: # of disabled non-faulty nodes (log10)"),
+        "faults".to_string(),
+        vec!["FB".into(), "FP".into(), "MFP".into()],
+    );
+    for p in &result.points {
+        series.push_row(
+            p.fault_count,
+            vec![
+                log10_or_floor(p.fb.disabled_nonfaulty),
+                log10_or_floor(p.fp.disabled_nonfaulty),
+                log10_or_floor(p.cmfp.disabled_nonfaulty),
+            ],
+        );
+    }
+    series
+}
+
+/// Raw (non-logarithmic) variant of Figure 9, convenient for EXPERIMENTS.md.
+pub fn figure9_raw(result: &SweepResult) -> Series {
+    let mut series = Series::new(
+        format!(
+            "Figure 9 ({}) raw counts: # of disabled non-faulty nodes",
+            result.distribution.label()
+        ),
+        "faults".to_string(),
+        vec!["FB".into(), "FP".into(), "MFP".into()],
+    );
+    for p in &result.points {
+        series.push_row(
+            p.fault_count,
+            vec![p.fb.disabled_nonfaulty, p.fp.disabled_nonfaulty, p.cmfp.disabled_nonfaulty],
+        );
+    }
+    series
+}
+
+fn log10_or_floor(v: f64) -> f64 {
+    if v < 0.1 {
+        -1.0
+    } else {
+        v.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+    use faultgen::FaultDistribution;
+
+    #[test]
+    fn figure9_orders_models_correctly() {
+        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Clustered);
+        let series = figure9_raw(&result);
+        let fb = series.curve("FB").unwrap();
+        let fp = series.curve("FP").unwrap();
+        let mfp = series.curve("MFP").unwrap();
+        for i in 0..fb.len() {
+            assert!(mfp[i] <= fp[i] + 1e-9);
+            assert!(fp[i] <= fb[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_scale_handles_zero() {
+        assert_eq!(log10_or_floor(0.0), -1.0);
+        assert!((log10_or_floor(100.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure9_has_three_curves_and_titles_per_distribution() {
+        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Random);
+        let series = figure9(&result);
+        assert_eq!(series.curves.len(), 3);
+        assert!(series.title.contains("random"));
+        assert_eq!(series.rows.len(), SweepConfig::quick().fault_counts.len());
+    }
+}

@@ -1,0 +1,32 @@
+//! # experiments — the paper's evaluation, reproduced
+//!
+//! Section 4 of *Wu & Jiang (IPDPS 2004)* evaluates the minimum faulty
+//! polygon model on a 100×100 mesh with up to 800 sequentially injected
+//! faults, under a random and a clustered fault distribution, reporting three
+//! figures:
+//!
+//! * **Figure 9** — average number of non-faulty but disabled nodes in the
+//!   whole network under FB, FP and MFP (log₁₀ scale);
+//! * **Figure 10** — average size of a faulty block / polygon (number of
+//!   faulty + non-faulty nodes it contains);
+//! * **Figure 11** — average number of rounds of status determination under
+//!   FB, FP, CMFP and DMFP.
+//!
+//! This crate contains the sweep driver ([`sweep`]) that regenerates all
+//! three figures from one pass over the fault counts, per-figure series
+//! extractors ([`fig9`], [`fig10`], [`fig11`]), plain-text/CSV rendering
+//! ([`table`]), and the `paper-figures` binary that prints any figure from
+//! the command line. The Criterion benches in the `bench` crate reuse the
+//! same sweep code so the benchmarked work is exactly the reported work.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig9;
+pub mod sweep;
+pub mod table;
+
+pub use sweep::{run_sweep, ModelPoint, SweepConfig, SweepPoint, SweepResult};
+pub use table::{render_csv, render_table, Series};

@@ -1,0 +1,232 @@
+//! The fault-count sweep shared by every figure.
+
+use faultgen::{FaultDistribution, FaultInjector};
+use fblock::{FaultModel, FaultyBlockModel, ModelOutcome, SubMinimumPolygonModel};
+use mesh2d::Mesh2D;
+use mocp_core::{CentralizedMfpModel, DistributedMfpModel};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one sweep (one curve family of Figures 9–11).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Mesh side length (the paper uses 100).
+    pub mesh_size: u32,
+    /// Fault counts to evaluate (the paper sweeps 0..800).
+    pub fault_counts: Vec<usize>,
+    /// Number of independent trials averaged per point.
+    pub trials: u32,
+    /// Base RNG seed; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            mesh_size: 100,
+            fault_counts: (1..=8).map(|i| i * 100).collect(),
+            trials: 5,
+            base_seed: 2004,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The paper's configuration: 100×100 mesh, 100..800 faults, averaged
+    /// over `trials` seeds.
+    pub fn paper(trials: u32) -> Self {
+        SweepConfig {
+            trials,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// A small configuration for unit tests and smoke benchmarks.
+    pub fn quick() -> Self {
+        SweepConfig {
+            mesh_size: 30,
+            fault_counts: vec![20, 40, 60],
+            trials: 2,
+            base_seed: 7,
+        }
+    }
+}
+
+/// The per-model metrics extracted from one construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelPoint {
+    /// Non-faulty nodes the model disabled (Figure 9).
+    pub disabled_nonfaulty: f64,
+    /// Average region size in nodes, faults included (Figure 10).
+    pub avg_region_size: f64,
+    /// Rounds of status determination (Figure 11).
+    pub rounds: f64,
+}
+
+impl ModelPoint {
+    fn from_outcome(outcome: &ModelOutcome) -> Self {
+        ModelPoint {
+            disabled_nonfaulty: outcome.disabled_nonfaulty() as f64,
+            avg_region_size: outcome.average_region_size(),
+            rounds: outcome.rounds.rounds as f64,
+        }
+    }
+
+    fn accumulate(&mut self, other: ModelPoint) {
+        self.disabled_nonfaulty += other.disabled_nonfaulty;
+        self.avg_region_size += other.avg_region_size;
+        self.rounds += other.rounds;
+    }
+
+    fn scale(&mut self, factor: f64) {
+        self.disabled_nonfaulty *= factor;
+        self.avg_region_size *= factor;
+        self.rounds *= factor;
+    }
+}
+
+/// One x-axis point of the sweep: metrics of all four models at a given
+/// fault count, averaged over the trials.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Number of faults injected.
+    pub fault_count: usize,
+    /// Rectangular faulty block metrics.
+    pub fb: ModelPoint,
+    /// Sub-minimum faulty polygon metrics.
+    pub fp: ModelPoint,
+    /// Centralized minimum faulty polygon metrics.
+    pub cmfp: ModelPoint,
+    /// Distributed minimum faulty polygon metrics.
+    pub dmfp: ModelPoint,
+}
+
+/// A full sweep under one fault distribution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The fault distribution that produced the curves.
+    pub distribution: FaultDistribution,
+    /// The configuration used.
+    pub config: SweepConfig,
+    /// One entry per fault count, in ascending order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Runs the constructions for every fault count of one trial.
+fn run_trial(config: &SweepConfig, distribution: FaultDistribution, trial: u32) -> Vec<SweepPoint> {
+    let mesh = Mesh2D::square(config.mesh_size);
+    let mut injector = FaultInjector::new(mesh, distribution, config.base_seed + trial as u64);
+    let mut points = Vec::with_capacity(config.fault_counts.len());
+    for &count in &config.fault_counts {
+        injector.inject_up_to(count);
+        let faults = injector.faults();
+        let fb = FaultyBlockModel.construct(&mesh, faults);
+        let fp = SubMinimumPolygonModel.construct(&mesh, faults);
+        let cmfp = CentralizedMfpModel::virtual_block().construct(&mesh, faults);
+        let dmfp = DistributedMfpModel.construct(&mesh, faults);
+        points.push(SweepPoint {
+            fault_count: count,
+            fb: ModelPoint::from_outcome(&fb),
+            fp: ModelPoint::from_outcome(&fp),
+            cmfp: ModelPoint::from_outcome(&cmfp),
+            dmfp: ModelPoint::from_outcome(&dmfp),
+        });
+    }
+    points
+}
+
+/// Runs the sweep, averaging over `config.trials` independent fault
+/// sequences. Trials run on separate threads (crossbeam scope) because each
+/// is an independent simulation.
+pub fn run_sweep(config: &SweepConfig, distribution: FaultDistribution) -> SweepResult {
+    let trials = config.trials.max(1);
+    let trial_results: Vec<Vec<SweepPoint>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..trials)
+            .map(|t| scope.spawn(move |_| run_trial(config, distribution, t)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trial panicked")).collect()
+    })
+    .expect("sweep scope panicked");
+
+    let mut points: Vec<SweepPoint> = config
+        .fault_counts
+        .iter()
+        .map(|&fault_count| SweepPoint {
+            fault_count,
+            ..SweepPoint::default()
+        })
+        .collect();
+    for trial in &trial_results {
+        for (acc, p) in points.iter_mut().zip(trial) {
+            acc.fb.accumulate(p.fb);
+            acc.fp.accumulate(p.fp);
+            acc.cmfp.accumulate(p.cmfp);
+            acc.dmfp.accumulate(p.dmfp);
+        }
+    }
+    let factor = 1.0 / trials as f64;
+    for p in &mut points {
+        p.fb.scale(factor);
+        p.fp.scale(factor);
+        p.cmfp.scale(factor);
+        p.dmfp.scale(factor);
+    }
+
+    SweepResult {
+        distribution,
+        config: config.clone(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_one_point_per_count() {
+        let config = SweepConfig::quick();
+        let result = run_sweep(&config, FaultDistribution::Random);
+        assert_eq!(result.points.len(), config.fault_counts.len());
+        for (p, &count) in result.points.iter().zip(&config.fault_counts) {
+            assert_eq!(p.fault_count, count);
+        }
+    }
+
+    #[test]
+    fn model_ordering_matches_the_paper() {
+        // MFP disables no more healthy nodes than FP, which disables no more
+        // than FB; the centralized and distributed MFP agree.
+        let config = SweepConfig::quick();
+        for dist in FaultDistribution::ALL {
+            let result = run_sweep(&config, dist);
+            for p in &result.points {
+                assert!(p.cmfp.disabled_nonfaulty <= p.fp.disabled_nonfaulty + 1e-9, "{dist:?}");
+                assert!(p.fp.disabled_nonfaulty <= p.fb.disabled_nonfaulty + 1e-9, "{dist:?}");
+                assert!((p.cmfp.disabled_nonfaulty - p.dmfp.disabled_nonfaulty).abs() < 1e-9);
+                assert!(p.fp.rounds >= p.fb.rounds, "FP adds scheme-2 rounds");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let config = SweepConfig {
+            mesh_size: 20,
+            fault_counts: vec![15, 30],
+            trials: 2,
+            base_seed: 99,
+        };
+        let a = run_sweep(&config, FaultDistribution::Clustered);
+        let b = run_sweep(&config, FaultDistribution::Clustered);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn disabled_nodes_grow_with_fault_count() {
+        let config = SweepConfig::quick();
+        let result = run_sweep(&config, FaultDistribution::Clustered);
+        let first = result.points.first().unwrap();
+        let last = result.points.last().unwrap();
+        assert!(last.fb.disabled_nonfaulty >= first.fb.disabled_nonfaulty);
+    }
+}

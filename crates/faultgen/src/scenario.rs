@@ -1,0 +1,216 @@
+//! Hand-built fault scenarios taken from the paper's figures.
+//!
+//! These small deterministic configurations are used throughout the test
+//! suites and the examples because their faulty blocks, sub-minimum faulty
+//! polygons and minimum faulty polygons can be worked out by hand and checked
+//! against the paper's figures.
+
+use mesh2d::{Coord, FaultSet, Mesh2D};
+
+/// A named deterministic fault configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Description of where in the paper the configuration appears.
+    pub description: &'static str,
+    /// The mesh the scenario lives in.
+    pub mesh: Mesh2D,
+    /// Faulty nodes, in insertion order.
+    pub faults: Vec<Coord>,
+}
+
+impl Scenario {
+    /// Builds the scenario's [`FaultSet`].
+    pub fn fault_set(&self) -> FaultSet {
+        FaultSet::from_coords(self.mesh, self.faults.iter().copied())
+    }
+}
+
+fn coords(list: &[(i32, i32)]) -> Vec<Coord> {
+    list.iter().map(|&(x, y)| Coord::new(x, y)).collect()
+}
+
+/// The routing example of Figure 2: an L-shaped faulty polygon
+/// `{(2,4), (3,4), (4,3)}` in an 8×8 mesh, with a message routed from (1,3)
+/// to (6,4).
+pub fn figure2_l_shape() -> Scenario {
+    Scenario {
+        name: "figure2-l-shape",
+        description: "L-shaped faulty polygon used by the extended e-cube routing example (Figure 2)",
+        mesh: Mesh2D::square(8),
+        faults: coords(&[(2, 4), (3, 4), (4, 3)]),
+    }
+}
+
+/// The example of Figure 8: a single 8-connected component with ten faulty
+/// nodes in a 6×7 grid region, whose concave row/column sections exercise the
+/// distributed solution (initiator at the west-most south-west corner).
+///
+/// The coordinates are read off the figure: the component contains a vertical
+/// arm in columns 0–1 and a staircase arm reaching (5, 6).
+pub fn figure8_component() -> Scenario {
+    Scenario {
+        name: "figure8-component",
+        description: "ten-fault single component from Figure 8 (distributed solution walkthrough)",
+        mesh: Mesh2D::square(10),
+        faults: coords(&[
+            (0, 0),
+            (1, 1),
+            (0, 2),
+            (1, 3),
+            (2, 2),
+            (3, 3),
+            (4, 4),
+            (3, 5),
+            (4, 5),
+            (5, 6),
+        ]),
+    }
+}
+
+/// Ten faults forming two nearby groups, in the spirit of Figure 3: the
+/// rectangular faulty block merges them and disables many healthy nodes,
+/// the sub-minimum polygon recovers some, and the minimum polygons recover
+/// almost all of them.
+pub fn figure3_two_groups() -> Scenario {
+    Scenario {
+        name: "figure3-two-groups",
+        description: "two nearby fault groups whose faulty block over-approximates heavily (Figure 3)",
+        mesh: Mesh2D::square(12),
+        faults: coords(&[
+            // left group: a small diagonal cluster
+            (2, 6),
+            (3, 7),
+            (3, 5),
+            (2, 4),
+            // right group: an L-shape two columns away
+            (7, 6),
+            (7, 5),
+            (8, 5),
+            (8, 4),
+            (9, 4),
+            (7, 7),
+        ]),
+    }
+}
+
+/// A U-shaped fault pattern: the classic case where the faulty *component*
+/// is not orthogonally convex, so the minimum polygon must add the notch
+/// nodes back.
+pub fn u_shape() -> Scenario {
+    Scenario {
+        name: "u-shape",
+        description: "U-shaped component whose concave column section must be disabled",
+        mesh: Mesh2D::square(8),
+        faults: coords(&[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)]),
+    }
+}
+
+/// Two interleaved components where the concave section of one component is
+/// blocked by the other — exercising the "blocking polygon" bypass of the
+/// distributed notification (Figure 7).
+pub fn blocking_polygons() -> Scenario {
+    Scenario {
+        name: "blocking-polygons",
+        description: "a concave section of one component overlaps another component (Figure 7)",
+        mesh: Mesh2D::square(12),
+        faults: coords(&[
+            // component 1: a large C opening east, column 2 plus rows 2 and 8
+            (2, 2),
+            (3, 2),
+            (4, 2),
+            (5, 2),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (2, 6),
+            (2, 7),
+            (2, 8),
+            (3, 8),
+            (4, 8),
+            (5, 8),
+            // component 2: a small block sitting inside the C's concave region
+            (4, 4),
+            (4, 5),
+            (5, 4),
+            (5, 5),
+        ]),
+    }
+}
+
+/// A single isolated fault — the smallest possible scenario.
+pub fn single_fault() -> Scenario {
+    Scenario {
+        name: "single-fault",
+        description: "one faulty node; every model should disable zero healthy nodes",
+        mesh: Mesh2D::square(5),
+        faults: coords(&[(2, 2)]),
+    }
+}
+
+/// Every scenario in this module, for exhaustive test sweeps.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        single_fault(),
+        figure2_l_shape(),
+        figure3_two_groups(),
+        figure8_component(),
+        u_shape(),
+        blocking_polygons(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh2d::{Connectivity, Region};
+
+    #[test]
+    fn scenarios_fit_their_meshes() {
+        for s in all_scenarios() {
+            for f in &s.faults {
+                assert!(s.mesh.contains(*f), "{}: {f} outside mesh", s.name);
+            }
+            assert_eq!(s.fault_set().len(), s.faults.len(), "{}: duplicate fault", s.name);
+        }
+    }
+
+    #[test]
+    fn figure2_is_orthogonally_convex() {
+        let s = figure2_l_shape();
+        let region = Region::from_coords(s.faults.iter().copied());
+        assert!(region.is_orthogonally_convex());
+    }
+
+    #[test]
+    fn figure8_is_one_component() {
+        let s = figure8_component();
+        let region = Region::from_coords(s.faults.iter().copied());
+        assert_eq!(region.components(Connectivity::Eight).len(), 1);
+        assert_eq!(region.len(), 10);
+    }
+
+    #[test]
+    fn u_shape_is_single_nonconvex_component() {
+        let s = u_shape();
+        let region = Region::from_coords(s.faults.iter().copied());
+        assert_eq!(region.components(Connectivity::Eight).len(), 1);
+        assert!(!region.is_orthogonally_convex());
+    }
+
+    #[test]
+    fn blocking_scenario_has_two_components() {
+        let s = blocking_polygons();
+        let region = Region::from_coords(s.faults.iter().copied());
+        assert_eq!(region.components(Connectivity::Eight).len(), 2);
+    }
+
+    #[test]
+    fn figure3_has_two_groups() {
+        let s = figure3_two_groups();
+        let region = Region::from_coords(s.faults.iter().copied());
+        assert_eq!(region.components(Connectivity::Eight).len(), 2);
+        assert_eq!(region.len(), 10);
+    }
+}

@@ -1,0 +1,34 @@
+//! # fblock — rectangular faulty blocks and sub-minimum faulty polygons
+//!
+//! This crate implements the two *baseline* fault models the paper compares
+//! against (Sections 1 and 2.3):
+//!
+//! * the **rectangular faulty block** model (FB): labelling scheme 1 grows
+//!   every fault cluster into a rectangle by marking "unsafe" the non-faulty
+//!   nodes that have a faulty/unsafe neighbor in both dimensions;
+//! * Wu's **sub-minimum faulty polygon** model (FP, IPDPS 2001): labelling
+//!   scheme 2 then shrinks each faulty block by re-enabling unsafe nodes that
+//!   have two or more enabled neighbors, producing orthogonal convex
+//!   polygons.
+//!
+//! Both schemes are *local rules* — every node updates from its own state and
+//! its 4-neighbors' states — and are executed on the synchronous round engine
+//! of the `distsim` crate so that the round counts reported in Figure 11 fall
+//! out of the construction itself.
+//!
+//! The crate also defines the [`FaultModel`] trait and its [`ModelOutcome`],
+//! the uniform interface through which the experiment harness drives FB, FP
+//! and (from the `mocp-core` crate) the minimum-polygon constructions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blocks;
+pub mod model;
+pub mod scheme1;
+pub mod scheme2;
+
+pub use blocks::{extract_faulty_blocks, FaultyBlockModel};
+pub use model::{FaultModel, ModelOutcome};
+pub use scheme1::label_safety;
+pub use scheme2::{label_activation, SubMinimumPolygonModel};

@@ -1,0 +1,237 @@
+//! Labelling scheme 2: the shrinking phase that produces Wu's sub-minimum
+//! faulty polygons.
+//!
+//! > *All faulty nodes are marked disabled. All safe nodes are marked
+//! > enabled. An unsafe node is initially marked disabled, but it is changed
+//! > to enabled if it has two or more enabled neighbors.*
+//!
+//! Applied after labelling scheme 1, the remaining disabled sets are
+//! orthogonal convex polygons (Wu, IPDPS 2001) that still cover every fault
+//! but contain fewer healthy nodes than the rectangular blocks.
+
+use crate::model::{FaultModel, ModelOutcome};
+use crate::scheme1::label_safety;
+use distsim::{run_local_rule, LocalRuleAutomaton, RoundStats};
+use mesh2d::{Activation, Connectivity, Coord, FaultSet, Grid, Mesh2D, NodeStatus, Region, Safety, StatusMap};
+
+/// Labelling scheme 2 as a local rule over [`Activation`] states.
+///
+/// The rule needs the scheme-1 safety labelling (to know which nodes start
+/// disabled) and the fault set (faulty nodes never re-enable).
+pub struct Scheme2Rule<'a> {
+    faults: &'a FaultSet,
+    safety: &'a Grid<Safety>,
+}
+
+impl<'a> Scheme2Rule<'a> {
+    /// Creates the rule from the outputs of labelling scheme 1.
+    pub fn new(faults: &'a FaultSet, safety: &'a Grid<Safety>) -> Self {
+        Scheme2Rule { faults, safety }
+    }
+}
+
+impl LocalRuleAutomaton for Scheme2Rule<'_> {
+    type State = Activation;
+
+    fn init(&self, c: Coord) -> Activation {
+        if self.safety[c] == Safety::Safe {
+            Activation::Enabled
+        } else {
+            Activation::Disabled
+        }
+    }
+
+    fn step(&self, c: Coord, current: &Activation, neighbors: &[(Coord, &Activation)]) -> Activation {
+        if self.faults.is_faulty(c) {
+            return Activation::Disabled;
+        }
+        if *current == Activation::Enabled {
+            return Activation::Enabled;
+        }
+        let enabled_neighbors = neighbors
+            .iter()
+            .filter(|(_, &a)| a == Activation::Enabled)
+            .count();
+        if enabled_neighbors >= 2 {
+            Activation::Enabled
+        } else {
+            Activation::Disabled
+        }
+    }
+}
+
+/// Runs labelling scheme 2 to its fixpoint on top of an existing scheme-1
+/// labelling. Returns the activation grid and the *additional* rounds the
+/// shrinking phase needed.
+pub fn label_activation(
+    mesh: &Mesh2D,
+    faults: &FaultSet,
+    safety: &Grid<Safety>,
+) -> (Grid<Activation>, RoundStats) {
+    run_local_rule(mesh, &Scheme2Rule::new(faults, safety))
+}
+
+/// Wu's sub-minimum faulty polygon model (FP): labelling scheme 1 followed by
+/// labelling scheme 2. The reported rounds are the sum of both phases, as in
+/// the paper's Figure 11 ("extra rounds are needed for applying labelling
+/// scheme 2").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubMinimumPolygonModel;
+
+impl SubMinimumPolygonModel {
+    /// Runs both labelling schemes and also returns the raw label grids, used
+    /// by tests and by the minimum-polygon construction's virtual-block
+    /// emulation.
+    pub fn construct_detailed(
+        &self,
+        mesh: &Mesh2D,
+        faults: &FaultSet,
+    ) -> (ModelOutcome, Grid<Safety>, Grid<Activation>) {
+        let (safety, rounds1) = label_safety(mesh, faults);
+        let (activation, rounds2) = label_activation(mesh, faults, &safety);
+
+        let mut status = StatusMap::from_faults(mesh, &faults.region());
+        for (c, &a) in activation.iter() {
+            if a == Activation::Disabled && !faults.is_faulty(c) {
+                status.supersede(c, NodeStatus::Disabled);
+            }
+        }
+        let regions = status.excluded_region().components(Connectivity::Four);
+        let outcome = ModelOutcome {
+            model: "FP".to_string(),
+            status,
+            regions,
+            rounds: rounds1.then(rounds2),
+        };
+        (outcome, safety, activation)
+    }
+}
+
+impl FaultModel for SubMinimumPolygonModel {
+    fn name(&self) -> &'static str {
+        "FP"
+    }
+
+    fn construct(&self, mesh: &Mesh2D, faults: &FaultSet) -> ModelOutcome {
+        self.construct_detailed(mesh, faults).0
+    }
+}
+
+/// Applies labelling schemes 1 and 2 to the nodes of a single *virtual faulty
+/// block*: the bounding box of one faulty component, treating only that
+/// component's nodes as faulty. This is the helper the centralized minimum
+/// faulty polygon construction (solution 1 in Section 3.1) builds on.
+///
+/// Returns the set of nodes that remain disabled (the component's minimum
+/// faulty polygon) and the rounds the per-component emulation used.
+pub fn shrink_component(mesh: &Mesh2D, component: &Region) -> (Region, RoundStats) {
+    let component_faults = FaultSet::from_coords(*mesh, component.iter());
+    let (safety, rounds1) = label_safety(mesh, &component_faults);
+    let (activation, rounds2) = label_activation(mesh, &component_faults, &safety);
+    let disabled = Region::from_coords(activation.coords_where(|&a| a == Activation::Disabled));
+    (disabled, rounds1.then(rounds2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faults(mesh: Mesh2D, list: &[(i32, i32)]) -> FaultSet {
+        FaultSet::from_coords(mesh, list.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    #[test]
+    fn single_fault_polygon_is_the_fault_itself() {
+        let mesh = Mesh2D::square(7);
+        let fs = faults(mesh, &[(3, 3)]);
+        let outcome = SubMinimumPolygonModel.construct(&mesh, &fs);
+        assert_eq!(outcome.disabled_nonfaulty(), 0);
+        assert_eq!(outcome.regions.len(), 1);
+        assert_eq!(outcome.regions[0].len(), 1);
+    }
+
+    #[test]
+    fn diagonal_pair_keeps_block_nodes_enabled() {
+        // Faults at (2,2),(3,3): the faulty block is 2x2, but both healthy
+        // corners have two enabled neighbors outside the block and are
+        // re-enabled; the resulting polygons are the two faults themselves
+        // (a staircase is orthogonally convex).
+        let mesh = Mesh2D::square(8);
+        let fs = faults(mesh, &[(2, 2), (3, 3)]);
+        let outcome = SubMinimumPolygonModel.construct(&mesh, &fs);
+        assert_eq!(outcome.disabled_nonfaulty(), 0);
+        assert!(outcome.all_regions_convex());
+        assert!(outcome.covers_all_faults());
+    }
+
+    #[test]
+    fn fp_never_disables_more_than_fb() {
+        let mesh = Mesh2D::square(14);
+        let fs = faults(
+            mesh,
+            &[(2, 2), (3, 3), (4, 2), (2, 6), (3, 7), (9, 9), (10, 10), (11, 9), (10, 8)],
+        );
+        let fb = crate::FaultyBlockModel.construct(&mesh, &fs);
+        let fp = SubMinimumPolygonModel.construct(&mesh, &fs);
+        assert!(fp.disabled_nonfaulty() <= fb.disabled_nonfaulty());
+        assert!(fp.rounds.rounds >= fb.rounds.rounds, "FP adds scheme-2 rounds");
+    }
+
+    #[test]
+    fn fp_polygons_are_orthogonally_convex() {
+        let mesh = Mesh2D::square(16);
+        let fs = faults(
+            mesh,
+            &[
+                (2, 2),
+                (3, 2),
+                (4, 2),
+                (2, 3),
+                (4, 3),
+                (2, 4),
+                (4, 4),
+                (10, 10),
+                (11, 11),
+                (12, 10),
+                (11, 9),
+            ],
+        );
+        let outcome = SubMinimumPolygonModel.construct(&mesh, &fs);
+        assert!(outcome.all_regions_convex());
+        assert!(outcome.covers_all_faults());
+        assert!(outcome.regions_disjoint());
+    }
+
+    #[test]
+    fn shrink_component_of_u_shape_fills_notch_only() {
+        let mesh = Mesh2D::square(8);
+        let u = Region::from_coords(
+            [(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)]
+                .iter()
+                .map(|&(x, y)| Coord::new(x, y)),
+        );
+        let (polygon, rounds) = shrink_component(&mesh, &u);
+        assert!(polygon.is_orthogonally_convex());
+        assert!(u.is_subset(&polygon));
+        assert_eq!(polygon.len(), 9, "U plus the two notch nodes");
+        assert!(rounds.rounds > 0);
+    }
+
+    #[test]
+    fn shrink_component_of_staircase_adds_nothing() {
+        let mesh = Mesh2D::square(10);
+        let stairs = Region::from_coords([(2, 2), (3, 3), (4, 4), (5, 5)].iter().map(|&(x, y)| Coord::new(x, y)));
+        let (polygon, _) = shrink_component(&mesh, &stairs);
+        assert_eq!(polygon, stairs);
+    }
+
+    #[test]
+    fn fp_detailed_exposes_label_grids() {
+        let mesh = Mesh2D::square(8);
+        let fs = faults(mesh, &[(2, 2), (3, 3)]);
+        let (_, safety, activation) = SubMinimumPolygonModel.construct_detailed(&mesh, &fs);
+        assert_eq!(safety[Coord::new(2, 3)], Safety::Unsafe);
+        assert_eq!(activation[Coord::new(2, 3)], Activation::Enabled);
+        assert_eq!(activation[Coord::new(2, 2)], Activation::Disabled);
+    }
+}

@@ -1,0 +1,120 @@
+//! Fault sets: which nodes of a mesh have failed.
+//!
+//! A [`FaultSet`] keeps both a dense membership grid (for O(1) queries inside
+//! the labelling fixpoints) and the insertion order (the paper's simulation
+//! adds faults sequentially, and the clustered fault model depends on that
+//! order).
+
+use crate::{Coord, Grid, Mesh2D, Region};
+use serde::{Deserialize, Serialize};
+
+/// The set of faulty nodes of a particular mesh.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FaultSet {
+    mesh: Mesh2D,
+    faulty: Grid<bool>,
+    order: Vec<Coord>,
+}
+
+impl FaultSet {
+    /// An empty fault set for `mesh`.
+    pub fn new(mesh: Mesh2D) -> Self {
+        FaultSet {
+            mesh,
+            faulty: Grid::for_mesh(&mesh, false),
+            order: Vec::new(),
+        }
+    }
+
+    /// Builds a fault set from a list of coordinates (duplicates and
+    /// out-of-mesh coordinates are ignored).
+    pub fn from_coords(mesh: Mesh2D, coords: impl IntoIterator<Item = Coord>) -> Self {
+        let mut fs = Self::new(mesh);
+        for c in coords {
+            fs.insert(c);
+        }
+        fs
+    }
+
+    /// The mesh the faults live in.
+    pub fn mesh(&self) -> &Mesh2D {
+        &self.mesh
+    }
+
+    /// Marks `c` faulty. Returns `true` when the node was newly marked,
+    /// `false` for duplicates or coordinates outside the mesh.
+    pub fn insert(&mut self, c: Coord) -> bool {
+        if !self.mesh.contains(c) || self.faulty[c] {
+            return false;
+        }
+        self.faulty[c] = true;
+        self.order.push(c);
+        true
+    }
+
+    /// True when node `c` is faulty. Out-of-mesh coordinates are healthy.
+    #[inline]
+    pub fn is_faulty(&self, c: Coord) -> bool {
+        self.faulty.get(c).copied().unwrap_or(false)
+    }
+
+    /// Number of faulty nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no node is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Faulty nodes in insertion order.
+    pub fn in_insertion_order(&self) -> &[Coord] {
+        &self.order
+    }
+
+    /// The faulty nodes as a [`Region`].
+    pub fn region(&self) -> Region {
+        Region::from_coords(self.order.iter().copied())
+    }
+
+    /// Fraction of the mesh that has failed.
+    pub fn fault_rate(&self) -> f64 {
+        self.len() as f64 / self.mesh.node_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mesh = Mesh2D::square(5);
+        let mut fs = FaultSet::new(mesh);
+        assert!(fs.is_empty());
+        assert!(fs.insert(Coord::new(2, 2)));
+        assert!(!fs.insert(Coord::new(2, 2)), "duplicate insert rejected");
+        assert!(!fs.insert(Coord::new(9, 9)), "out-of-mesh insert rejected");
+        assert!(fs.is_faulty(Coord::new(2, 2)));
+        assert!(!fs.is_faulty(Coord::new(0, 0)));
+        assert!(!fs.is_faulty(Coord::new(-3, 0)));
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mesh = Mesh2D::square(5);
+        let coords = [Coord::new(4, 4), Coord::new(0, 0), Coord::new(2, 3)];
+        let fs = FaultSet::from_coords(mesh, coords);
+        assert_eq!(fs.in_insertion_order(), &coords);
+        assert_eq!(fs.region().len(), 3);
+    }
+
+    #[test]
+    fn fault_rate() {
+        let mesh = Mesh2D::square(10);
+        let fs = FaultSet::from_coords(mesh, (0..5).map(|i| Coord::new(i, 0)));
+        assert!((fs.fault_rate() - 0.05).abs() < 1e-12);
+    }
+}

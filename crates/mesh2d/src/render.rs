@@ -1,0 +1,114 @@
+//! ASCII rendering of meshes, regions and status maps.
+//!
+//! The examples and the distributed-protocol traces print small meshes in the
+//! style of the paper's figures: `#` for faulty (black) nodes, `o` for
+//! non-faulty disabled (gray) nodes, and `.` for enabled nodes. Row `y`
+//! increases upwards so that the output matches the paper's orientation
+//! (origin at the south-west corner).
+
+use crate::{Coord, Grid, NodeStatus, Region, StatusMap};
+use std::fmt::Write as _;
+
+/// Character used for faulty nodes.
+pub const FAULTY_CHAR: char = '#';
+/// Character used for non-faulty but disabled nodes.
+pub const DISABLED_CHAR: char = 'o';
+/// Character used for enabled nodes.
+pub const ENABLED_CHAR: char = '.';
+
+/// Renders a [`StatusMap`] as ASCII art, north row first.
+pub fn render_status(map: &StatusMap) -> String {
+    render_grid(map.grid(), |s| match s {
+        NodeStatus::Faulty => FAULTY_CHAR,
+        NodeStatus::Disabled => DISABLED_CHAR,
+        NodeStatus::Enabled => ENABLED_CHAR,
+    })
+}
+
+/// Renders any grid given a cell-to-character mapping, north row first.
+pub fn render_grid<T>(grid: &Grid<T>, mut to_char: impl FnMut(&T) -> char) -> String {
+    let mut out = String::with_capacity((grid.width() as usize + 1) * grid.height() as usize);
+    for y in (0..grid.height()).rev() {
+        for x in 0..grid.width() {
+            let c = to_char(&grid[Coord::new(x, y)]);
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a set of regions over a `width × height` canvas; each region is
+/// drawn with the corresponding character from `symbols` (cycled), enabled
+/// background as `.`.
+pub fn render_regions(width: u32, height: u32, regions: &[Region], symbols: &[char]) -> String {
+    let mut grid = Grid::filled(width, height, ENABLED_CHAR);
+    for (i, region) in regions.iter().enumerate() {
+        let ch = if symbols.is_empty() {
+            DISABLED_CHAR
+        } else {
+            symbols[i % symbols.len()]
+        };
+        for c in region.iter() {
+            grid.set(c, ch);
+        }
+    }
+    render_grid(&grid, |&c| c)
+}
+
+/// Renders a status map together with a y-axis legend, useful in examples.
+pub fn render_status_with_axes(map: &StatusMap) -> String {
+    let body = render_status(map);
+    let mut out = String::new();
+    for (i, line) in body.lines().enumerate() {
+        let y = map.height() as usize - 1 - i;
+        let _ = writeln!(out, "{y:>3} {line}");
+    }
+    let _ = write!(out, "    ");
+    for x in 0..map.width() {
+        let _ = write!(out, "{}", x % 10);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mesh2D, Region};
+
+    #[test]
+    fn render_small_status_map() {
+        let mesh = Mesh2D::square(3);
+        let mut map = StatusMap::all_enabled(&mesh);
+        map.set(Coord::new(0, 0), NodeStatus::Faulty);
+        map.set(Coord::new(2, 2), NodeStatus::Disabled);
+        let art = render_status(&map);
+        // north row (y = 2) is printed first
+        assert_eq!(art, "..o\n...\n#..\n");
+    }
+
+    #[test]
+    fn render_regions_cycles_symbols() {
+        let a = Region::from_coords([Coord::new(0, 0)]);
+        let b = Region::from_coords([Coord::new(1, 0)]);
+        let art = render_regions(2, 1, &[a, b], &['A', 'B']);
+        assert_eq!(art, "AB\n");
+    }
+
+    #[test]
+    fn render_with_axes_contains_labels() {
+        let mesh = Mesh2D::square(4);
+        let map = StatusMap::all_enabled(&mesh);
+        let art = render_status_with_axes(&map);
+        assert!(art.contains("  3 ...."));
+        assert!(art.contains("0123"));
+    }
+
+    #[test]
+    fn empty_symbol_list_falls_back_to_disabled_char() {
+        let a = Region::from_coords([Coord::new(0, 0)]);
+        let art = render_regions(1, 1, &[a], &[]);
+        assert_eq!(art, "o\n");
+    }
+}

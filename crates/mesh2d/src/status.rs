@@ -1,0 +1,288 @@
+//! The labelling vocabulary of the paper's fault models.
+//!
+//! The paper works with three orthogonal node attributes:
+//!
+//! * [`Health`] — whether the node is physically faulty (faults "just cease
+//!   to work"),
+//! * [`Safety`] — the label produced by **labelling scheme 1** (safe /
+//!   unsafe); connected unsafe nodes form rectangular faulty blocks,
+//! * [`Activation`] — the label produced by **labelling scheme 2** (enabled /
+//!   disabled); disabled nodes are the ones inside a faulty polygon and are
+//!   excluded from routing.
+//!
+//! A faulty node is always unsafe and disabled. A non-faulty node is in one
+//! of three states: safe+enabled, unsafe+enabled, or unsafe+disabled
+//! (Section 2.3). The combined [`NodeStatus`] plus the [`StatusMap`] helper
+//! capture that final, per-node outcome, together with the *superseding rule*
+//! used when piling per-component diagrams (faulty ⟶ gray ⟶ white).
+
+use crate::{Coord, Grid, Mesh2D, Region};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical node health.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Health {
+    /// The node operates normally.
+    Healthy,
+    /// The node has failed (fail-stop).
+    Faulty,
+}
+
+/// The label assigned by labelling scheme 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Safety {
+    /// The node does not cause routing difficulties.
+    Safe,
+    /// The node is faulty or would trap messages (belongs to a faulty block).
+    Unsafe,
+}
+
+/// The label assigned by labelling scheme 2.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Activation {
+    /// The node participates in routing.
+    Enabled,
+    /// The node is excluded from routing (inside a faulty polygon).
+    Disabled,
+}
+
+/// The final status of a node after a fault-model construction, using the
+/// paper's figure color-coding: black (faulty), gray (non-faulty but
+/// disabled) and white (non-faulty, enabled, possibly after having been part
+/// of a faulty block).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// A faulty node ("black").
+    Faulty,
+    /// A non-faulty node that the fault model disables ("gray").
+    Disabled,
+    /// A non-faulty node that keeps routing ("white" / not shown).
+    #[default]
+    Enabled,
+}
+
+impl NodeStatus {
+    /// Rank used by the superseding rule: black nodes overwrite gray and
+    /// white nodes, and gray nodes overwrite white nodes.
+    #[inline]
+    pub fn precedence(self) -> u8 {
+        match self {
+            NodeStatus::Faulty => 2,
+            NodeStatus::Disabled => 1,
+            NodeStatus::Enabled => 0,
+        }
+    }
+
+    /// Applies the superseding rule to two candidate statuses for the same
+    /// node, returning the one that survives.
+    #[inline]
+    pub fn supersede(self, other: NodeStatus) -> NodeStatus {
+        if self.precedence() >= other.precedence() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True for black or gray nodes — i.e. nodes removed from the routing
+    /// fabric.
+    #[inline]
+    pub fn is_excluded(self) -> bool {
+        !matches!(self, NodeStatus::Enabled)
+    }
+}
+
+impl fmt::Display for NodeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeStatus::Faulty => "faulty",
+            NodeStatus::Disabled => "disabled",
+            NodeStatus::Enabled => "enabled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The outcome of a fault-model construction: one [`NodeStatus`] per node.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StatusMap {
+    grid: Grid<NodeStatus>,
+}
+
+impl StatusMap {
+    /// An all-enabled map for `mesh`.
+    pub fn all_enabled(mesh: &Mesh2D) -> Self {
+        StatusMap {
+            grid: Grid::for_mesh(mesh, NodeStatus::Enabled),
+        }
+    }
+
+    /// A map where exactly the nodes of `faults` are faulty and everything
+    /// else is enabled.
+    pub fn from_faults(mesh: &Mesh2D, faults: &Region) -> Self {
+        let mut map = Self::all_enabled(mesh);
+        for f in faults.iter() {
+            map.grid.set(f, NodeStatus::Faulty);
+        }
+        map
+    }
+
+    /// The status of node `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is outside the mesh the map was built for.
+    pub fn status(&self, c: Coord) -> NodeStatus {
+        self.grid[c]
+    }
+
+    /// The status of node `c`, or `None` when outside the map.
+    pub fn get(&self, c: Coord) -> Option<NodeStatus> {
+        self.grid.get(c).copied()
+    }
+
+    /// Sets the status of node `c` unconditionally.
+    pub fn set(&mut self, c: Coord, status: NodeStatus) {
+        self.grid.set(c, status);
+    }
+
+    /// Applies the superseding rule: the stored status only changes when the
+    /// new status has strictly higher precedence.
+    pub fn supersede(&mut self, c: Coord, status: NodeStatus) {
+        if let Some(cell) = self.grid.get_mut(c) {
+            *cell = cell.supersede(status);
+        }
+    }
+
+    /// Merges a whole map into this one using the superseding rule.
+    pub fn supersede_all(&mut self, other: &StatusMap) {
+        for (c, &s) in other.grid.iter() {
+            self.supersede(c, s);
+        }
+    }
+
+    /// All faulty (black) nodes.
+    pub fn faulty_region(&self) -> Region {
+        Region::from_coords(self.grid.coords_where(|&s| s == NodeStatus::Faulty))
+    }
+
+    /// All non-faulty but disabled (gray) nodes.
+    pub fn disabled_region(&self) -> Region {
+        Region::from_coords(self.grid.coords_where(|&s| s == NodeStatus::Disabled))
+    }
+
+    /// All excluded nodes (faulty or disabled) — the union of the faulty
+    /// polygons.
+    pub fn excluded_region(&self) -> Region {
+        Region::from_coords(self.grid.coords_where(|s| s.is_excluded()))
+    }
+
+    /// Number of non-faulty nodes the model disables (the paper's headline
+    /// metric, Figure 9).
+    pub fn disabled_count(&self) -> usize {
+        self.grid.count_where(|&s| s == NodeStatus::Disabled)
+    }
+
+    /// Number of faulty nodes.
+    pub fn faulty_count(&self) -> usize {
+        self.grid.count_where(|&s| s == NodeStatus::Faulty)
+    }
+
+    /// Width of the underlying grid.
+    pub fn width(&self) -> i32 {
+        self.grid.width()
+    }
+
+    /// Height of the underlying grid.
+    pub fn height(&self) -> i32 {
+        self.grid.height()
+    }
+
+    /// Access to the raw grid, mainly for rendering.
+    pub fn grid(&self) -> &Grid<NodeStatus> {
+        &self.grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superseding_rule_orders_black_gray_white() {
+        use NodeStatus::*;
+        assert_eq!(Faulty.supersede(Disabled), Faulty);
+        assert_eq!(Disabled.supersede(Faulty), Faulty);
+        assert_eq!(Disabled.supersede(Enabled), Disabled);
+        assert_eq!(Enabled.supersede(Disabled), Disabled);
+        assert_eq!(Enabled.supersede(Enabled), Enabled);
+        assert!(Faulty.precedence() > Disabled.precedence());
+        assert!(Disabled.precedence() > Enabled.precedence());
+    }
+
+    #[test]
+    fn excluded_means_not_enabled() {
+        assert!(NodeStatus::Faulty.is_excluded());
+        assert!(NodeStatus::Disabled.is_excluded());
+        assert!(!NodeStatus::Enabled.is_excluded());
+    }
+
+    #[test]
+    fn from_faults_marks_only_faults() {
+        let mesh = Mesh2D::square(6);
+        let faults = Region::from_coords([Coord::new(1, 1), Coord::new(4, 2)]);
+        let map = StatusMap::from_faults(&mesh, &faults);
+        assert_eq!(map.faulty_count(), 2);
+        assert_eq!(map.disabled_count(), 0);
+        assert_eq!(map.status(Coord::new(1, 1)), NodeStatus::Faulty);
+        assert_eq!(map.status(Coord::new(0, 0)), NodeStatus::Enabled);
+        assert_eq!(map.faulty_region(), faults);
+    }
+
+    #[test]
+    fn supersede_map_merging() {
+        let mesh = Mesh2D::square(4);
+        let mut a = StatusMap::all_enabled(&mesh);
+        a.set(Coord::new(1, 1), NodeStatus::Disabled);
+        a.set(Coord::new(2, 2), NodeStatus::Faulty);
+
+        let mut b = StatusMap::all_enabled(&mesh);
+        b.set(Coord::new(1, 1), NodeStatus::Faulty);
+        b.set(Coord::new(2, 2), NodeStatus::Disabled);
+        b.set(Coord::new(3, 3), NodeStatus::Disabled);
+
+        a.supersede_all(&b);
+        assert_eq!(a.status(Coord::new(1, 1)), NodeStatus::Faulty);
+        assert_eq!(a.status(Coord::new(2, 2)), NodeStatus::Faulty);
+        assert_eq!(a.status(Coord::new(3, 3)), NodeStatus::Disabled);
+        assert_eq!(a.disabled_count(), 1);
+        assert_eq!(a.faulty_count(), 2);
+    }
+
+    #[test]
+    fn excluded_region_is_union() {
+        let mesh = Mesh2D::square(4);
+        let mut m = StatusMap::all_enabled(&mesh);
+        m.set(Coord::new(0, 0), NodeStatus::Faulty);
+        m.set(Coord::new(0, 1), NodeStatus::Disabled);
+        let ex = m.excluded_region();
+        assert_eq!(ex.len(), 2);
+        assert!(ex.contains(Coord::new(0, 0)));
+        assert!(ex.contains(Coord::new(0, 1)));
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let mesh = Mesh2D::square(3);
+        let m = StatusMap::all_enabled(&mesh);
+        assert_eq!(m.get(Coord::new(3, 0)), None);
+        assert_eq!(m.get(Coord::new(2, 2)), Some(NodeStatus::Enabled));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeStatus::Faulty.to_string(), "faulty");
+        assert_eq!(NodeStatus::Disabled.to_string(), "disabled");
+        assert_eq!(NodeStatus::Enabled.to_string(), "enabled");
+    }
+}

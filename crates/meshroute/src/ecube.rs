@@ -1,0 +1,84 @@
+//! The fault-free base routing: e-cube (x-y, dimension order).
+//!
+//! A message is sent along the row (X dimension) until it reaches the column
+//! of its destination, then along the column. In a fault-free mesh this is
+//! minimal and deadlock-free.
+
+use mesh2d::Coord;
+
+/// The e-cube route from `src` to `dst`, including both endpoints.
+pub fn ecube_route(src: Coord, dst: Coord) -> Vec<Coord> {
+    let mut path = vec![src];
+    let mut current = src;
+    while current.x != dst.x {
+        current.x += (dst.x - current.x).signum();
+        path.push(current);
+    }
+    while current.y != dst.y {
+        current.y += (dst.y - current.y).signum();
+        path.push(current);
+    }
+    path
+}
+
+/// The next e-cube hop from `current` toward `dst`, or `None` on arrival.
+pub fn ecube_next_hop(current: Coord, dst: Coord) -> Option<Coord> {
+    if current.x != dst.x {
+        Some(Coord::new(current.x + (dst.x - current.x).signum(), current.y))
+    } else if current.y != dst.y {
+        Some(Coord::new(current.x, current.y + (dst.y - current.y).signum()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_route() {
+        // From (1,3) to (6,4): along the row to (6,3), then up to (6,4).
+        let path = ecube_route(Coord::new(1, 3), Coord::new(6, 4));
+        assert_eq!(path.len(), 7);
+        assert_eq!(path[0], Coord::new(1, 3));
+        assert_eq!(path[5], Coord::new(6, 3));
+        assert_eq!(path[6], Coord::new(6, 4));
+    }
+
+    #[test]
+    fn route_length_is_manhattan_distance() {
+        let a = Coord::new(2, 9);
+        let b = Coord::new(7, 1);
+        let path = ecube_route(a, b);
+        assert_eq!(path.len() as u32, a.manhattan(b) + 1);
+        // consecutive hops are mesh links
+        for w in path.windows(2) {
+            assert!(w[0].is_neighbor4(w[1]));
+        }
+    }
+
+    #[test]
+    fn degenerate_routes() {
+        let a = Coord::new(3, 3);
+        assert_eq!(ecube_route(a, a), vec![a]);
+        assert_eq!(ecube_next_hop(a, a), None);
+        assert_eq!(ecube_next_hop(Coord::new(0, 0), Coord::new(0, 5)), Some(Coord::new(0, 1)));
+        assert_eq!(ecube_next_hop(Coord::new(4, 0), Coord::new(0, 5)), Some(Coord::new(3, 0)));
+    }
+
+    #[test]
+    fn row_before_column() {
+        let path = ecube_route(Coord::new(0, 0), Coord::new(2, 2));
+        assert_eq!(
+            path,
+            vec![
+                Coord::new(0, 0),
+                Coord::new(1, 0),
+                Coord::new(2, 0),
+                Coord::new(2, 1),
+                Coord::new(2, 2)
+            ]
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! Extended e-cube routing around faulty polygons.
+//!
+//! The message follows the base e-cube route until its next hop would enter
+//! a faulty polygon (an excluded region of the status map). It then switches
+//! to the "abnormal" mode and travels around the region — hugging the
+//! region's boundary, in the orientation given by the paper's rules — until
+//! it reaches a node from which the rest of the base route no longer touches
+//! that region, where it becomes "normal" again. Abnormal hops are charged to
+//! the message class's virtual channel.
+//!
+//! The orientation rules (Figure 1): for an NS- or SN-bound message the
+//! orientation is a don't-care; for a WE-bound (EW-bound) message it is
+//! clockwise (counterclockwise) when the message is above its row of travel,
+//! counterclockwise (clockwise) when below, and a don't-care on the row of
+//! travel itself. Our boundary walk realises the rule by preferring, among
+//! shortest ways around the region, the side the rule names; when the rule
+//! says don't-care the shorter side is taken.
+
+use crate::ecube::ecube_next_hop;
+use crate::message::{MessageClass, VirtualChannel};
+use mesh2d::{Connectivity, Coord, Mesh2D, Region, StatusMap};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Why a route could not be produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RouteError {
+    /// The source node is faulty or disabled.
+    SourceExcluded,
+    /// The destination node is faulty or disabled.
+    DestinationExcluded,
+    /// No path of enabled nodes connects source and destination.
+    Unreachable,
+}
+
+/// A complete route produced by the extended e-cube router.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutePath {
+    /// Every node the message visits, source first, destination last.
+    pub hops: Vec<Coord>,
+    /// Number of hops taken in the abnormal mode (around fault regions).
+    pub abnormal_hops: usize,
+    /// Virtual channel charged for each hop (`hops.len() - 1` entries).
+    pub channels: Vec<VirtualChannel>,
+}
+
+impl RoutePath {
+    /// Total number of hops (links traversed).
+    pub fn len(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+
+    /// True for the degenerate source-equals-destination route.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stretch over the minimal fault-free route (1.0 = minimal).
+    pub fn stretch(&self) -> f64 {
+        let src = *self.hops.first().expect("route has a source");
+        let dst = *self.hops.last().expect("route has a destination");
+        let minimal = src.manhattan(dst) as f64;
+        if minimal == 0.0 {
+            1.0
+        } else {
+            self.len() as f64 / minimal
+        }
+    }
+}
+
+/// The extended e-cube router for a given fault-model outcome.
+pub struct ExtendedECube<'a> {
+    mesh: &'a Mesh2D,
+    status: &'a StatusMap,
+    regions: Vec<Region>,
+}
+
+impl<'a> ExtendedECube<'a> {
+    /// Creates a router that avoids the excluded regions of `status`.
+    pub fn new(mesh: &'a Mesh2D, status: &'a StatusMap) -> Self {
+        let regions = status.excluded_region().components(Connectivity::Four);
+        ExtendedECube {
+            mesh,
+            status,
+            regions,
+        }
+    }
+
+    fn enabled(&self, c: Coord) -> bool {
+        self.mesh.contains(c) && !self.status.status(c).is_excluded()
+    }
+
+    fn region_containing(&self, c: Coord) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(c))
+    }
+
+    /// Routes a message from `src` to `dst`.
+    pub fn route(&self, src: Coord, dst: Coord) -> Result<RoutePath, RouteError> {
+        if !self.enabled(src) {
+            return Err(RouteError::SourceExcluded);
+        }
+        if !self.enabled(dst) {
+            return Err(RouteError::DestinationExcluded);
+        }
+
+        let mut hops = vec![src];
+        let mut channels = Vec::new();
+        let mut abnormal_hops = 0usize;
+        let mut current = src;
+        let step_budget = 16 * self.mesh.node_count();
+
+        while current != dst {
+            if hops.len() > step_budget {
+                return Err(RouteError::Unreachable);
+            }
+            let class = MessageClass::classify(current, dst).expect("not yet at destination");
+            let next = ecube_next_hop(current, dst).expect("not yet at destination");
+            if self.enabled(next) {
+                current = next;
+                hops.push(current);
+                channels.push(class.virtual_channel());
+                continue;
+            }
+
+            // Abnormal mode: travel around the region blocking the next hop.
+            let region = self
+                .region_containing(next)
+                .expect("blocked hop lies in an excluded region")
+                .clone();
+            let detour = self.detour_around(&region, current, dst, class)?;
+            for hop in detour.into_iter().skip(1) {
+                current = hop;
+                hops.push(current);
+                channels.push(class.virtual_channel());
+                abnormal_hops += 1;
+            }
+        }
+
+        Ok(RoutePath {
+            hops,
+            abnormal_hops,
+            channels,
+        })
+    }
+
+    /// Finds the walk around `region` that ends at a node from which the base
+    /// e-cube route no longer touches this region.
+    ///
+    /// The walk is restricted to enabled nodes adjacent (8-neighborhood) to
+    /// the region — i.e. the message hugs the polygon boundary, as in the
+    /// paper — and falls back to an unrestricted search only when the hugging
+    /// walk cannot reach an exit (for example when the region leans against
+    /// the mesh border).
+    fn detour_around(
+        &self,
+        region: &Region,
+        from: Coord,
+        dst: Coord,
+        class: MessageClass,
+    ) -> Result<Vec<Coord>, RouteError> {
+        let halo: BTreeSet<Coord> = region
+            .iter()
+            .flat_map(|c| c.neighbors8())
+            .filter(|c| self.enabled(*c))
+            .chain(std::iter::once(from))
+            .collect();
+
+        let exit_ok = |c: Coord| c == dst || self.base_route_clears_region(c, dst, region);
+        if let Some(path) = self.bfs_path(&halo, from, &exit_ok, Some((class, dst))) {
+            return Ok(path);
+        }
+        // Fall back: search through all enabled nodes.
+        let all: BTreeSet<Coord> = self
+            .mesh
+            .nodes()
+            .filter(|c| self.enabled(*c))
+            .collect();
+        self.bfs_path(&all, from, &exit_ok, None)
+            .ok_or(RouteError::Unreachable)
+    }
+
+    /// True when the base e-cube route from `c` to `dst` avoids `region`
+    /// entirely (the message would be "normal" again at `c`).
+    fn base_route_clears_region(&self, c: Coord, dst: Coord, region: &Region) -> bool {
+        let mut cur = c;
+        loop {
+            match ecube_next_hop(cur, dst) {
+                None => return true,
+                Some(next) => {
+                    if region.contains(next) {
+                        return false;
+                    }
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    /// Breadth-first path through `allowed` from `from` to the first node
+    /// satisfying `is_exit`. When `orientation` is provided, neighbor
+    /// expansion order prefers the side named by the paper's orientation
+    /// rule, so ties between equally short ways around the region are broken
+    /// the way Figure 1 prescribes.
+    fn bfs_path(
+        &self,
+        allowed: &BTreeSet<Coord>,
+        from: Coord,
+        is_exit: &dyn Fn(Coord) -> bool,
+        orientation: Option<(MessageClass, Coord)>,
+    ) -> Option<Vec<Coord>> {
+        if is_exit(from) {
+            return Some(vec![from]);
+        }
+        let mut parent: BTreeMap<Coord, Coord> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        parent.insert(from, from);
+        while let Some(c) = queue.pop_front() {
+            let mut neighbors: Vec<Coord> = self
+                .mesh
+                .neighbors4(c)
+                .filter(|n| allowed.contains(n) && !parent.contains_key(n))
+                .collect();
+            if let Some((class, dst)) = orientation {
+                neighbors.sort_by_key(|n| orientation_penalty(class, dst, c, *n));
+            }
+            for n in neighbors {
+                parent.insert(n, c);
+                if is_exit(n) {
+                    let mut path = vec![n];
+                    let mut cur = n;
+                    while cur != from {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(n);
+            }
+        }
+        None
+    }
+}
+
+/// Lower is preferred. WE-bound messages below their row of travel prefer to
+/// go around counterclockwise (i.e. keep heading east / south first), above
+/// it clockwise; EW-bound messages mirror this; column-bound messages do not
+/// care.
+fn orientation_penalty(class: MessageClass, dst: Coord, from: Coord, to: Coord) -> i32 {
+    let dy = to.y - from.y;
+    let below_travel_row = from.y < dst.y;
+    match class {
+        MessageClass::WEBound => {
+            if from.y == dst.y {
+                0
+            } else if below_travel_row {
+                -dy // counterclockwise: prefer staying low / going south
+            } else {
+                dy // clockwise: prefer staying high / going north
+            }
+        }
+        MessageClass::EWBound => {
+            if from.y == dst.y {
+                0
+            } else if below_travel_row {
+                dy
+            } else {
+                -dy
+            }
+        }
+        MessageClass::NSBound | MessageClass::SNBound => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh2d::{FaultSet, NodeStatus};
+
+    fn status_with_faults(mesh: &Mesh2D, faults: &[(i32, i32)]) -> StatusMap {
+        let fs = FaultSet::from_coords(*mesh, faults.iter().map(|&(x, y)| Coord::new(x, y)));
+        StatusMap::from_faults(mesh, &fs.region())
+    }
+
+    #[test]
+    fn unobstructed_routes_are_minimal() {
+        let mesh = Mesh2D::square(10);
+        let status = StatusMap::all_enabled(&mesh);
+        let router = ExtendedECube::new(&mesh, &status);
+        let path = router.route(Coord::new(1, 1), Coord::new(7, 6)).unwrap();
+        assert_eq!(path.len() as u32, Coord::new(1, 1).manhattan(Coord::new(7, 6)));
+        assert_eq!(path.abnormal_hops, 0);
+        assert!((path.stretch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_route_goes_around_the_l_polygon() {
+        // Paper's Figure 2: faults {(2,4),(3,4),(4,3)}, message from (1,3) to
+        // (6,4). The route must avoid the polygon, stay on enabled nodes and
+        // deliver the message.
+        let mesh = Mesh2D::square(8);
+        let status = status_with_faults(&mesh, &[(2, 4), (3, 4), (4, 3)]);
+        let router = ExtendedECube::new(&mesh, &status);
+        let path = router.route(Coord::new(1, 3), Coord::new(6, 4)).unwrap();
+        assert_eq!(*path.hops.last().unwrap(), Coord::new(6, 4));
+        assert!(path.abnormal_hops > 0);
+        for c in &path.hops {
+            assert_eq!(status.status(*c), NodeStatus::Enabled);
+        }
+        for w in path.hops.windows(2) {
+            assert!(w[0].is_neighbor4(w[1]));
+        }
+        // The counterclockwise rule sends the message below the region,
+        // through row 2, exactly as in the figure.
+        assert!(path.hops.contains(&Coord::new(5, 2)) || path.hops.contains(&Coord::new(4, 2)));
+    }
+
+    #[test]
+    fn source_or_destination_inside_polygon_is_rejected() {
+        let mesh = Mesh2D::square(8);
+        let status = status_with_faults(&mesh, &[(3, 3)]);
+        let router = ExtendedECube::new(&mesh, &status);
+        assert_eq!(
+            router.route(Coord::new(3, 3), Coord::new(0, 0)),
+            Err(RouteError::SourceExcluded)
+        );
+        assert_eq!(
+            router.route(Coord::new(0, 0), Coord::new(3, 3)),
+            Err(RouteError::DestinationExcluded)
+        );
+    }
+
+    #[test]
+    fn destination_walled_off_is_unreachable() {
+        // A full-height wall of faults separates the two halves of the mesh.
+        let mesh = Mesh2D::square(6);
+        let wall: Vec<(i32, i32)> = (0..6).map(|y| (3, y)).collect();
+        let status = status_with_faults(&mesh, &wall);
+        let router = ExtendedECube::new(&mesh, &status);
+        assert_eq!(
+            router.route(Coord::new(0, 0), Coord::new(5, 5)),
+            Err(RouteError::Unreachable)
+        );
+    }
+
+    #[test]
+    fn all_pairs_are_delivered_around_a_u_polygon() {
+        let mesh = Mesh2D::square(9);
+        // the minimum polygon of a U-shaped component (notch filled)
+        let status = status_with_faults(
+            &mesh,
+            &[(3, 3), (4, 3), (5, 3), (3, 4), (5, 4), (3, 5), (5, 5)],
+        );
+        let mut status = status;
+        status.set(Coord::new(4, 4), NodeStatus::Disabled);
+        status.set(Coord::new(4, 5), NodeStatus::Disabled);
+        let router = ExtendedECube::new(&mesh, &status);
+        let enabled: Vec<Coord> = mesh
+            .nodes()
+            .filter(|c| !status.status(*c).is_excluded())
+            .collect();
+        for &src in &enabled {
+            for &dst in enabled.iter().step_by(7) {
+                let path = router.route(src, dst).expect("deliverable");
+                assert_eq!(*path.hops.last().unwrap(), dst);
+                assert!(path.hops.iter().all(|c| !status.status(*c).is_excluded()));
+            }
+        }
+    }
+
+    #[test]
+    fn abnormal_hops_use_the_class_channel() {
+        let mesh = Mesh2D::square(8);
+        let status = status_with_faults(&mesh, &[(4, 3), (4, 4)]);
+        let router = ExtendedECube::new(&mesh, &status);
+        let path = router.route(Coord::new(1, 3), Coord::new(7, 3)).unwrap();
+        assert!(path.abnormal_hops > 0);
+        // a WE-bound message charges vc1 on its way around the region
+        assert!(path.channels.iter().any(|vc| vc.0 == 1));
+        assert_eq!(path.channels.len(), path.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! # meshroute — fault-tolerant, deadlock-free routing around faulty polygons
+//!
+//! Section 2.2 of the paper motivates the whole construction: once the fault
+//! regions are orthogonal convex polygons, Chalasani and Boppana's *extended
+//! e-cube* routing delivers messages around them with only four virtual
+//! channels. This crate implements that application layer:
+//!
+//! * [`ecube`] — the fault-free base e-cube (x-y, dimension order) routing;
+//! * [`message`] — the EW / WE / NS / SN message classes and their virtual
+//!   channel assignment (`vc0..vc3`);
+//! * [`extended`] — extended e-cube routing: messages follow the base route
+//!   until they hit a faulty polygon, then travel around the region
+//!   (clockwise or counterclockwise according to the paper's orientation
+//!   rules) in the "abnormal" mode until the region no longer affects them;
+//! * [`deadlock`] — the channel dependency graph built from a set of routes
+//!   and its acyclicity check (the empirical deadlock-freedom argument);
+//! * [`simulate`] — batch routing experiments (delivery rate, path stretch,
+//!   abnormal hops) used by the examples and the ablation benchmark that
+//!   compares routing over FB regions against routing over MFP regions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deadlock;
+pub mod ecube;
+pub mod extended;
+pub mod message;
+pub mod simulate;
+
+pub use deadlock::ChannelDependencyGraph;
+pub use ecube::ecube_route;
+pub use extended::{ExtendedECube, RouteError, RoutePath};
+pub use message::{MessageClass, VirtualChannel};
+pub use simulate::{RoutingExperiment, RoutingStats};

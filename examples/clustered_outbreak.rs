@@ -1,0 +1,51 @@
+//! The clustered-fault study from the paper's evaluation, scaled to a
+//! single run: sweep the fault count on the 100×100 mesh under the clustered
+//! fault distribution model and print all three figure series.
+//!
+//! ```text
+//! cargo run --release -p experiments --example clustered_outbreak
+//! ```
+
+use experiments::fig10::figure10;
+use experiments::fig11::figure11;
+use experiments::fig9::figure9_raw;
+use experiments::{render_table, run_sweep, SweepConfig};
+use faultgen::FaultDistribution;
+
+fn main() {
+    let config = SweepConfig {
+        mesh_size: 100,
+        fault_counts: (1..=8).map(|i| i * 100).collect(),
+        trials: 3,
+        base_seed: 2004,
+    };
+    println!(
+        "sweeping {}..{} clustered faults on a {}x{} mesh, {} trials per point\n",
+        config.fault_counts.first().unwrap(),
+        config.fault_counts.last().unwrap(),
+        config.mesh_size,
+        config.mesh_size,
+        config.trials,
+    );
+    let result = run_sweep(&config, FaultDistribution::Clustered);
+
+    println!("{}", render_table(&figure9_raw(&result)));
+    println!("{}", render_table(&figure10(&result)));
+    println!("{}", render_table(&figure11(&result)));
+
+    // Headline numbers the paper quotes in prose.
+    if let (Some(first), Some(last)) = (result.points.first(), result.points.last()) {
+        let recovered_fp = 1.0 - last.fp.disabled_nonfaulty / last.fb.disabled_nonfaulty.max(1.0);
+        let recovered_mfp = 1.0 - last.cmfp.disabled_nonfaulty / last.fb.disabled_nonfaulty.max(1.0);
+        println!(
+            "at {} faults: FP re-enables {:.0}% and MFP re-enables {:.0}% of the healthy nodes the faulty blocks disable",
+            last.fault_count,
+            recovered_fp * 100.0,
+            recovered_mfp * 100.0,
+        );
+        println!(
+            "average faulty-block size grows from {:.2} to {:.2} nodes across the sweep, while the MFP stays between {:.2} and {:.2}",
+            first.fb.avg_region_size, last.fb.avg_region_size, first.cmfp.avg_region_size, last.cmfp.avg_region_size,
+        );
+    }
+}

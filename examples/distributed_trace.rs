@@ -1,0 +1,81 @@
+//! Trace of the distributed minimum-polygon protocol on the paper's Figure 8
+//! component: boundary ring walks, the boundary array, detected concave
+//! sections, notification plans and round accounting.
+//!
+//! ```text
+//! cargo run --release -p experiments --example distributed_trace
+//! ```
+
+use faultgen::scenario::figure8_component;
+use mesh2d::render::render_regions;
+use mocp_core::distributed::boundary::{is_south_west_inner_corner, is_south_west_outer_corner, ring_walks};
+use mocp_core::distributed::ring::process_walk;
+use mocp_core::distributed::protocol::DistributedMfpModel;
+use mocp_core::merge_components;
+
+fn main() {
+    let scenario = figure8_component();
+    let faults = scenario.fault_set();
+    let components = merge_components(&faults);
+    println!(
+        "Figure 8 scenario: {} faults forming {} component(s)\n",
+        faults.len(),
+        components.len()
+    );
+
+    for component in &components {
+        println!(
+            "component with {} faults, virtual block {:?}",
+            component.len(),
+            component.virtual_block()
+        );
+
+        for walk in ring_walks(&scenario.mesh, component) {
+            let kind = if walk.is_inner { "inner" } else { "outer" };
+            println!(
+                "  {kind} ring walk: initiator {}, {} boundary nodes, {} hops (complete: {})",
+                walk.initiator,
+                walk.visits.len(),
+                walk.hops,
+                walk.complete
+            );
+            let sw_outer = walk
+                .visits
+                .iter()
+                .filter(|c| is_south_west_outer_corner(component, **c))
+                .count();
+            let sw_inner = walk
+                .visits
+                .iter()
+                .filter(|c| is_south_west_inner_corner(component, **c))
+                .count();
+            println!("    south-west corners on the ring: {sw_outer} outer, {sw_inner} inner");
+            let outcome = process_walk(component, &walk);
+            for d in &outcome.detected {
+                println!(
+                    "    detected {:?} section on line {} spanning {}..{} (notification end node {})",
+                    d.section.orientation, d.section.line, d.section.start, d.section.end, d.notification_end
+                );
+            }
+        }
+    }
+
+    let (outcome, traces) = DistributedMfpModel.construct_detailed(&scenario.mesh, &faults);
+    println!("\nDMFP outcome: {} healthy nodes disabled, {} rounds total", outcome.disabled_nonfaulty(), outcome.rounds.rounds);
+    for trace in &traces {
+        println!(
+            "  component rounds: {} ({} protocol iterations, {} notifications, faithful: {})",
+            trace.rounds.rounds,
+            trace.iterations,
+            trace.notifications.len(),
+            trace.faithful
+        );
+    }
+
+    println!("\nfaults (left) and their minimum faulty polygons (right):");
+    let fault_art = render_regions(10, 8, &[faults.region()], &['#']);
+    let poly_art = render_regions(10, 8, &outcome.regions, &['o']);
+    for (a, b) in fault_art.lines().zip(poly_art.lines()) {
+        println!("  {a}    {b}");
+    }
+}

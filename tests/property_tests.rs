@@ -1,0 +1,123 @@
+//! Property-based tests over randomly generated fault patterns.
+//!
+//! These are the strongest checks in the repository: for arbitrary fault
+//! sets on small meshes, the centralized solutions, the distributed protocol
+//! and the specification (per-component orthogonal convex hulls) must all
+//! coincide, and the paper's theorem (minimality) and orderings must hold.
+
+use fblock::{FaultModel, FaultyBlockModel, SubMinimumPolygonModel};
+use mesh2d::{Connectivity, Coord, FaultSet, Mesh2D, Region};
+use mocp_core::{is_minimum_covering_polygon, merge_components, minimum_polygon, CentralizedMfpModel, DistributedMfpModel};
+use proptest::prelude::*;
+
+const MESH: u32 = 14;
+
+fn arbitrary_faults() -> impl Strategy<Value = Vec<(i32, i32)>> {
+    prop::collection::vec((0..MESH as i32, 0..MESH as i32), 0..28)
+}
+
+fn fault_set(coords: &[(i32, i32)]) -> (Mesh2D, FaultSet) {
+    let mesh = Mesh2D::square(MESH);
+    let fs = FaultSet::from_coords(mesh, coords.iter().map(|&(x, y)| Coord::new(x, y)));
+    (mesh, fs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn centralized_solutions_and_distributed_protocol_agree(coords in arbitrary_faults()) {
+        let (mesh, faults) = fault_set(&coords);
+        let virtual_block = CentralizedMfpModel::virtual_block().construct(&mesh, &faults);
+        let concave = CentralizedMfpModel::concave_sections().construct(&mesh, &faults);
+        let distributed = DistributedMfpModel.construct(&mesh, &faults);
+        prop_assert_eq!(&virtual_block.status, &concave.status);
+        prop_assert_eq!(&virtual_block.status, &distributed.status);
+    }
+
+    #[test]
+    fn every_polygon_is_the_minimum_cover_of_its_component(coords in arbitrary_faults()) {
+        let (mesh, faults) = fault_set(&coords);
+        let outcome = CentralizedMfpModel::virtual_block().construct(&mesh, &faults);
+        let components = merge_components(&faults);
+        prop_assert_eq!(components.len(), outcome.regions.len());
+        for (component, polygon) in components.iter().zip(&outcome.regions) {
+            prop_assert!(polygon.is_orthogonally_convex());
+            prop_assert!(component.region().is_subset(polygon));
+            prop_assert!(is_minimum_covering_polygon(component, polygon));
+        }
+    }
+
+    #[test]
+    fn model_ordering_fb_fp_mfp(coords in arbitrary_faults()) {
+        let (mesh, faults) = fault_set(&coords);
+        let fb = FaultyBlockModel.construct(&mesh, &faults);
+        let fp = SubMinimumPolygonModel.construct(&mesh, &faults);
+        let mfp = CentralizedMfpModel::virtual_block().construct(&mesh, &faults);
+        prop_assert!(mfp.disabled_nonfaulty() <= fp.disabled_nonfaulty());
+        prop_assert!(fp.disabled_nonfaulty() <= fb.disabled_nonfaulty());
+        prop_assert!(fb.covers_all_faults());
+        prop_assert!(fp.covers_all_faults());
+        prop_assert!(mfp.covers_all_faults());
+        prop_assert!(fp.all_regions_convex());
+        prop_assert!(mfp.all_regions_convex());
+    }
+
+    #[test]
+    fn faulty_blocks_are_rectangles(coords in arbitrary_faults()) {
+        let (mesh, faults) = fault_set(&coords);
+        let fb = FaultyBlockModel.construct(&mesh, &faults);
+        for region in &fb.regions {
+            let bbox = region.bounding_rect().expect("non-empty");
+            prop_assert_eq!(bbox.area(), region.len());
+        }
+    }
+
+    #[test]
+    fn hull_is_idempotent_and_minimal(coords in arbitrary_faults()) {
+        let region = Region::from_coords(coords.iter().map(|&(x, y)| Coord::new(x, y)));
+        let hull = region.orthogonal_convex_hull();
+        prop_assert!(hull.is_orthogonally_convex());
+        prop_assert!(region.is_subset(&hull));
+        prop_assert_eq!(hull.orthogonal_convex_hull(), hull.clone());
+        // hull of a convex region is itself
+        if region.is_orthogonally_convex() {
+            prop_assert_eq!(hull, region);
+        }
+    }
+
+    #[test]
+    fn per_component_polygons_lie_inside_the_faulty_block(coords in arbitrary_faults()) {
+        // The paper's motivation: the minimum polygon never disables a node
+        // the rectangular faulty block would have kept enabled.
+        let (mesh, faults) = fault_set(&coords);
+        let fb = FaultyBlockModel.construct(&mesh, &faults);
+        let mfp = CentralizedMfpModel::virtual_block().construct(&mesh, &faults);
+        prop_assert!(mfp.status.excluded_region().is_subset(&fb.status.excluded_region()));
+    }
+
+    #[test]
+    fn components_partition_faults(coords in arbitrary_faults()) {
+        let (_, faults) = fault_set(&coords);
+        let components = merge_components(&faults);
+        let union = components
+            .iter()
+            .fold(Region::new(), |acc, c| acc.union(c.region()));
+        prop_assert_eq!(union, faults.region());
+        for (i, a) in components.iter().enumerate() {
+            for b in &components[i + 1..] {
+                prop_assert!(a.region().is_disjoint(b.region()));
+                // distinct components are never 8-adjacent
+                for ca in a.iter() {
+                    for cb in b.iter() {
+                        prop_assert!(!ca.is_adjacent8(cb));
+                    }
+                }
+            }
+        }
+        for c in &components {
+            prop_assert!(c.region().is_connected(Connectivity::Eight));
+            prop_assert_eq!(minimum_polygon(c).bounding_rect(), Some(c.virtual_block()));
+        }
+    }
+}
