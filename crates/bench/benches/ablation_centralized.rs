@@ -3,27 +3,30 @@
 //!
 //! Both produce the same minimum polygons; this bench measures the cost
 //! difference between emulating the labelling schemes on per-component
-//! windows and directly scanning for concave sections.
+//! windows and directly scanning for concave sections. The two arms are
+//! resolved by name from the ablation registry (`CMFP` is solution 1,
+//! `CMFP-concave` is solution 2).
 
 use bench::workload;
 use criterion::{criterion_group, criterion_main, Criterion};
 use faultgen::FaultDistribution;
-use fblock::FaultModel;
-use mocp_core::CentralizedMfpModel;
+use mocp_core::ablation_registry;
 
 fn bench_centralized_solutions(c: &mut Criterion) {
+    let registry = ablation_registry();
     let mut group = c.benchmark_group("ablation_centralized_solutions");
     group.sample_size(20);
     for &faults in &[200usize, 800] {
         let (mesh, fault_set) = workload(FaultDistribution::Clustered, faults, 17);
-        group.bench_function(format!("virtual_block_{faults}"), |b| {
-            let model = CentralizedMfpModel::virtual_block();
-            b.iter(|| std::hint::black_box(model.construct(&mesh, &fault_set)))
-        });
-        group.bench_function(format!("concave_sections_{faults}"), |b| {
-            let model = CentralizedMfpModel::concave_sections();
-            b.iter(|| std::hint::black_box(model.construct(&mesh, &fault_set)))
-        });
+        for (name, label) in [
+            ("CMFP", "virtual_block"),
+            ("CMFP-concave", "concave_sections"),
+        ] {
+            let model = registry.build(name).expect("ablation registry entry");
+            group.bench_function(format!("{label}_{faults}"), |b| {
+                b.iter(|| std::hint::black_box(model.construct(&mesh, &fault_set)))
+            });
+        }
     }
     group.finish();
 }

@@ -1,22 +1,26 @@
 //! Ablation: routing quality over FB regions versus MFP regions.
 //!
 //! The same faults are modelled once as rectangular faulty blocks and once as
-//! minimum faulty polygons; the extended e-cube router then routes a sample
-//! of node pairs over each. MFP keeps more endpoints routable and produces
-//! shorter detours — the system-level payoff the paper's introduction argues
-//! for.
+//! minimum faulty polygons (both resolved by name from the standard model
+//! registry); the extended e-cube router then routes a sample of node pairs
+//! over each. MFP keeps more endpoints routable and produces shorter detours
+//! — the system-level payoff the paper's introduction argues for.
 
 use bench::workload;
 use criterion::{criterion_group, criterion_main, Criterion};
 use faultgen::FaultDistribution;
-use fblock::{FaultModel, FaultyBlockModel};
 use meshroute::RoutingExperiment;
-use mocp_core::CentralizedMfpModel;
+use mocp_core::standard_registry;
 
 fn bench_routing(c: &mut Criterion) {
+    let registry = standard_registry();
     let (mesh, faults) = workload(FaultDistribution::Clustered, 300, 23);
-    let fb = FaultyBlockModel.construct(&mesh, &faults);
-    let mfp = CentralizedMfpModel::virtual_block().construct(&mesh, &faults);
+    let fb = registry
+        .construct("FB", &mesh, &faults)
+        .expect("registered");
+    let mfp = registry
+        .construct("CMFP", &mesh, &faults)
+        .expect("registered");
 
     // Report the comparison once: delivery rate and stretch under each model.
     for outcome in [&fb, &mfp] {

@@ -119,7 +119,7 @@ impl MfpAnalysis {
             fb: FaultyBlockModel.construct(mesh, faults),
             fp: SubMinimumPolygonModel.construct(mesh, faults),
             cmfp: CentralizedMfpModel::virtual_block().construct(mesh, faults),
-            dmfp: crate::distributed::protocol::DistributedMfpModel::default().construct(mesh, faults),
+            dmfp: crate::distributed::protocol::DistributedMfpModel.construct(mesh, faults),
         }
     }
 
@@ -220,7 +220,10 @@ mod tests {
         // disables no more than FB.
         assert!(analysis.cmfp.disabled_nonfaulty() <= analysis.fp.disabled_nonfaulty());
         assert!(analysis.fp.disabled_nonfaulty() <= analysis.fb.disabled_nonfaulty());
-        assert_eq!(analysis.cmfp.disabled_nonfaulty(), analysis.dmfp.disabled_nonfaulty());
+        assert_eq!(
+            analysis.cmfp.disabled_nonfaulty(),
+            analysis.dmfp.disabled_nonfaulty()
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl VirtualBlockSolver {
         // Translate the component's faults into window coordinates.
         let local_faults = FaultSet::from_coords(
             window_mesh,
-            component.iter().map(|c| Coord::new(c.x - offset.x, c.y - offset.y)),
+            component
+                .iter()
+                .map(|c| Coord::new(c.x - offset.x, c.y - offset.y)),
         );
 
         // Labelling scheme 1 grows the component into its virtual faulty
@@ -86,7 +88,9 @@ mod tests {
     use crate::hull::minimum_polygon;
 
     fn component(list: &[(i32, i32)]) -> FaultyComponent {
-        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+        FaultyComponent::new(Region::from_coords(
+            list.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
     }
 
     #[test]
@@ -137,8 +141,28 @@ mod tests {
             vec![(3, 3), (4, 4), (5, 5), (6, 6)],
             vec![(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)],
             vec![(0, 2), (1, 1), (2, 0), (3, 1), (4, 2)],
-            vec![(8, 8), (9, 8), (10, 8), (8, 9), (10, 9), (8, 10), (9, 10), (10, 10)],
-            vec![(0, 0), (1, 1), (0, 2), (1, 3), (2, 2), (3, 3), (4, 4), (3, 5), (4, 5), (5, 6)],
+            vec![
+                (8, 8),
+                (9, 8),
+                (10, 8),
+                (8, 9),
+                (10, 9),
+                (8, 10),
+                (9, 10),
+                (10, 10),
+            ],
+            vec![
+                (0, 0),
+                (1, 1),
+                (0, 2),
+                (1, 3),
+                (2, 2),
+                (3, 3),
+                (4, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+            ],
         ];
         for shape in shapes {
             let comp = component(&shape);

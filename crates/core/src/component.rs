@@ -143,7 +143,16 @@ mod tests {
         let mesh = Mesh2D::square(20);
         let fs = faults(
             mesh,
-            &[(1, 1), (2, 2), (3, 1), (10, 10), (11, 11), (17, 3), (17, 4), (18, 5)],
+            &[
+                (1, 1),
+                (2, 2),
+                (3, 1),
+                (10, 10),
+                (11, 11),
+                (17, 3),
+                (17, 4),
+                (18, 5),
+            ],
         );
         let comps = merge_components(&fs);
         let total: usize = comps.iter().map(FaultyComponent::len).sum();

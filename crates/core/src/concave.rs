@@ -150,7 +150,9 @@ mod tests {
     use mesh2d::Region;
 
     fn component(list: &[(i32, i32)]) -> FaultyComponent {
-        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+        FaultyComponent::new(Region::from_coords(
+            list.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
     }
 
     #[test]
@@ -210,7 +212,16 @@ mod tests {
             vec![(0, 0), (1, 1), (2, 2)],
             vec![(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)],
             vec![(0, 2), (1, 1), (2, 0), (3, 1), (4, 2)],
-            vec![(0, 0), (1, 0), (2, 0), (0, 1), (2, 1), (0, 2), (1, 2), (2, 2)],
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (0, 1),
+                (2, 1),
+                (0, 2),
+                (1, 2),
+                (2, 2),
+            ],
             vec![(5, 5)],
             vec![(1, 3), (2, 2), (3, 3), (2, 4), (2, 3)],
         ];
@@ -235,9 +246,10 @@ mod tests {
             (2, 2),
         ]);
         let sections = concave_sections(&ring);
-        assert!(sections
-            .iter()
-            .any(|s| s.orientation == Orientation::Column && s.line == 1 && s.start == 1 && s.end == 1));
+        assert!(sections.iter().any(|s| s.orientation == Orientation::Column
+            && s.line == 1
+            && s.start == 1
+            && s.end == 1));
         let (poly, _) = ConcaveSectionSolver.solve(&ring);
         assert_eq!(poly.len(), 9);
     }

@@ -172,7 +172,7 @@ fn trace_walk(band: &Region, is_inner: bool) -> RingWalk {
 
     // Primary walk from the west-most south-west ring node, then secondary
     // walks from the next unvisited initiators (overwriting-rule order).
-    for start in std::iter::once(initiator).chain(pending.into_iter()) {
+    for start in std::iter::once(initiator).chain(pending) {
         if visited.contains(start) {
             continue;
         }
@@ -224,7 +224,9 @@ mod tests {
     use super::*;
 
     fn component(list: &[(i32, i32)]) -> FaultyComponent {
-        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+        FaultyComponent::new(Region::from_coords(
+            list.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
     }
 
     #[test]

@@ -135,10 +135,8 @@ mod tests {
         // Section runs along row 5 from x=2 to x=8; a blocking component
         // occupies (4,5),(5,5),(6,5) so the message must route around it.
         let mesh = Mesh2D::square(12);
-        let faults = FaultSet::from_coords(
-            mesh,
-            [Coord::new(4, 5), Coord::new(5, 5), Coord::new(6, 5)],
-        );
+        let faults =
+            FaultSet::from_coords(mesh, [Coord::new(4, 5), Coord::new(5, 5), Coord::new(6, 5)]);
         let section = ConcaveSection {
             orientation: Orientation::Row,
             line: 5,

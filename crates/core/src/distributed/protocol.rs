@@ -146,7 +146,11 @@ impl DistributedMfpModel {
 
     /// Runs the full construction and returns both the model outcome and the
     /// per-component traces.
-    pub fn construct_detailed(&self, mesh: &Mesh2D, faults: &FaultSet) -> (ModelOutcome, Vec<ComponentTrace>) {
+    pub fn construct_detailed(
+        &self,
+        mesh: &Mesh2D,
+        faults: &FaultSet,
+    ) -> (ModelOutcome, Vec<ComponentTrace>) {
         let components = merge_components(faults);
         let mut traces = Vec::with_capacity(components.len());
         let mut rounds = RoundStats::quiescent();
@@ -198,15 +202,40 @@ mod tests {
             vec![(2, 2), (3, 3)],
             vec![(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)],
             vec![(0, 2), (1, 1), (2, 0), (3, 1), (4, 2)],
-            vec![(2, 6), (3, 7), (3, 5), (2, 4), (7, 6), (7, 5), (8, 5), (8, 4), (9, 4), (7, 7)],
-            vec![(0, 0), (1, 1), (0, 2), (1, 3), (2, 2), (3, 3), (4, 4), (3, 5), (4, 5), (5, 6)],
+            vec![
+                (2, 6),
+                (3, 7),
+                (3, 5),
+                (2, 4),
+                (7, 6),
+                (7, 5),
+                (8, 5),
+                (8, 4),
+                (9, 4),
+                (7, 7),
+            ],
+            vec![
+                (0, 0),
+                (1, 1),
+                (0, 2),
+                (1, 3),
+                (2, 2),
+                (3, 3),
+                (4, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+            ],
         ];
         for case in cases {
             let fs = faults(mesh, &case);
             let cmfp = CentralizedMfpModel::virtual_block().construct(&mesh, &fs);
             let (dmfp, traces) = DistributedMfpModel.construct_detailed(&mesh, &fs);
             assert_eq!(dmfp.status, cmfp.status, "case {case:?}");
-            assert!(traces.iter().all(|t| t.faithful), "case {case:?} needed the fallback");
+            assert!(
+                traces.iter().all(|t| t.faithful),
+                "case {case:?} needed the fallback"
+            );
             assert!(dmfp.covers_all_faults());
             assert!(dmfp.all_regions_convex());
         }
@@ -215,13 +244,20 @@ mod tests {
     #[test]
     fn dmfp_counts_ring_and_notification_rounds() {
         let mesh = Mesh2D::square(12);
-        let fs = faults(mesh, &[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)]);
+        let fs = faults(
+            mesh,
+            &[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)],
+        );
         let (outcome, traces) = DistributedMfpModel.construct_detailed(&mesh, &fs);
         assert_eq!(traces.len(), 1);
         let t = &traces[0];
         // ring of the U-shaped component has more than a dozen nodes, so the
         // traversal alone needs that many rounds, plus 1 for classification.
-        assert!(outcome.rounds.rounds > 12, "rounds = {}", outcome.rounds.rounds);
+        assert!(
+            outcome.rounds.rounds > 12,
+            "rounds = {}",
+            outcome.rounds.rounds
+        );
         assert!(!t.notifications.is_empty());
         assert_eq!(t.iterations, 1, "one pass reaches the convex fixpoint");
     }

@@ -226,7 +226,9 @@ mod tests {
     use mesh2d::{Mesh2D, Region};
 
     fn component(list: &[(i32, i32)]) -> FaultyComponent {
-        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+        FaultyComponent::new(Region::from_coords(
+            list.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
     }
 
     fn detect_all(mesh: &Mesh2D, comp: &FaultyComponent) -> Vec<ConcaveSection> {
@@ -288,9 +290,34 @@ mod tests {
         let shapes: Vec<Vec<(i32, i32)>> = vec![
             vec![(0, 2), (1, 1), (2, 0), (3, 1), (4, 2)],
             vec![(2, 2), (2, 3), (2, 4), (3, 2), (4, 2), (4, 3)],
-            vec![(0, 0), (1, 1), (0, 2), (1, 3), (2, 2), (3, 3), (4, 4), (3, 5), (4, 5), (5, 6)],
+            vec![
+                (0, 0),
+                (1, 1),
+                (0, 2),
+                (1, 3),
+                (2, 2),
+                (3, 3),
+                (4, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+            ],
             vec![(5, 5), (6, 6), (7, 5), (6, 4)],
-            vec![(1, 1), (2, 1), (3, 1), (1, 2), (3, 2), (1, 3), (2, 3), (3, 3), (1, 4), (3, 4), (1, 5), (2, 5), (3, 5)],
+            vec![
+                (1, 1),
+                (2, 1),
+                (3, 1),
+                (1, 2),
+                (3, 2),
+                (1, 3),
+                (2, 3),
+                (3, 3),
+                (1, 4),
+                (3, 4),
+                (1, 5),
+                (2, 5),
+                (3, 5),
+            ],
         ];
         for shape in shapes {
             let comp = component(&shape);
@@ -308,12 +335,19 @@ mod tests {
     fn clamp_run_bounds() {
         // membership: columns 4,5,6 are component
         let member = |v: i32| (4..=6).contains(&v);
-        assert_eq!(clamp_run(2, 9, 8, member), Some((7, 9)).filter(|_| member(10)));
+        assert_eq!(
+            clamp_run(2, 9, 8, member),
+            Some((7, 9)).filter(|_| member(10))
+        );
         // with a proper closing member at 10:
         let member2 = |v: i32| (4..=6).contains(&v) || v == 10 || v == 1;
         assert_eq!(clamp_run(2, 9, 8, member2), Some((7, 9)));
         assert_eq!(clamp_run(2, 9, 2, member2), Some((2, 3)));
-        assert_eq!(clamp_run(2, 9, 5, member2), None, "anchor inside the component");
+        assert_eq!(
+            clamp_run(2, 9, 5, member2),
+            None,
+            "anchor inside the component"
+        );
     }
 
     #[test]

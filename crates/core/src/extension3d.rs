@@ -219,13 +219,7 @@ mod tests {
 
     #[test]
     fn u_shape_in_a_plane_is_filled() {
-        let u = region(&[
-            (0, 0, 0),
-            (1, 0, 0),
-            (2, 0, 0),
-            (0, 1, 0),
-            (2, 1, 0),
-        ]);
+        let u = region(&[(0, 0, 0), (1, 0, 0), (2, 0, 0), (0, 1, 0), (2, 1, 0)]);
         assert!(!u.is_orthogonally_convex());
         let hull = u.orthogonal_convex_hull();
         assert!(hull.contains(Coord3::new(1, 1, 0)));

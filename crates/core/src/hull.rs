@@ -32,7 +32,9 @@ mod tests {
     use mesh2d::{Coord, Rect};
 
     fn component(list: &[(i32, i32)]) -> FaultyComponent {
-        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+        FaultyComponent::new(Region::from_coords(
+            list.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
     }
 
     #[test]
@@ -84,7 +86,10 @@ mod tests {
         let poly = minimum_polygon(&ring);
         assert!(poly.contains(Coord::new(1, 1)));
         assert_eq!(added_node_count(&ring), 1);
-        assert_eq!(poly, Region::from_rect(Rect::new(Coord::new(0, 0), Coord::new(2, 2))));
+        assert_eq!(
+            poly,
+            Region::from_rect(Rect::new(Coord::new(0, 0), Coord::new(2, 2)))
+        );
     }
 
     #[test]

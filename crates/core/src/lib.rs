@@ -18,6 +18,7 @@
 //!      2 on each component's *virtual faulty block* (solution 1);
 //!    * [`concave::ConcaveSectionSolver`] directly disables every node on a
 //!      *concave row/column section* of the component (solution 2);
+//!
 //!    and a **distributed** formulation ([`distributed`]) in which boundary
 //!    nodes build a ring around each component, detect concave sections with
 //!    the boundary array `V[1..n](E,S,W,N)`, and notify the section nodes,
@@ -61,6 +62,7 @@ pub mod concave;
 pub mod distributed;
 pub mod extension3d;
 pub mod hull;
+pub mod registry;
 pub mod superseding;
 pub mod verify;
 
@@ -69,4 +71,5 @@ pub use component::{merge_components, FaultyComponent};
 pub use concave::{concave_sections, ConcaveSection, Orientation};
 pub use distributed::protocol::DistributedMfpModel;
 pub use hull::minimum_polygon;
+pub use registry::{ablation_registry, standard_registry};
 pub use verify::is_minimum_covering_polygon;

@@ -61,7 +61,9 @@ mod tests {
     use super::*;
 
     fn component(list: &[(i32, i32)]) -> FaultyComponent {
-        FaultyComponent::new(Region::from_coords(list.iter().map(|&(x, y)| Coord::new(x, y))))
+        FaultyComponent::new(Region::from_coords(
+            list.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
     }
 
     #[test]

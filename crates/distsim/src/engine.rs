@@ -21,7 +21,12 @@ pub trait LocalRuleAutomaton {
 
     /// Computes the next state of node `c` given its current state and the
     /// current states of its in-mesh 4-neighbors.
-    fn step(&self, c: Coord, current: &Self::State, neighbors: &[(Coord, &Self::State)]) -> Self::State;
+    fn step(
+        &self,
+        c: Coord,
+        current: &Self::State,
+        neighbors: &[(Coord, &Self::State)],
+    ) -> Self::State;
 }
 
 /// Runs `automaton` on `mesh` until a fixpoint is reached.
@@ -30,7 +35,10 @@ pub trait LocalRuleAutomaton {
 /// is guaranteed to be reached for monotone rules (both labelling schemes are
 /// monotone), but callers that are unsure can use
 /// [`run_local_rule_with_limit`].
-pub fn run_local_rule<A: LocalRuleAutomaton>(mesh: &Mesh2D, automaton: &A) -> (Grid<A::State>, RoundStats) {
+pub fn run_local_rule<A: LocalRuleAutomaton>(
+    mesh: &Mesh2D,
+    automaton: &A,
+) -> (Grid<A::State>, RoundStats) {
     run_local_rule_with_limit(mesh, automaton, u32::MAX)
 }
 
@@ -41,7 +49,9 @@ pub fn run_local_rule_with_limit<A: LocalRuleAutomaton>(
     automaton: &A,
     max_rounds: u32,
 ) -> (Grid<A::State>, RoundStats) {
-    let mut states = Grid::from_fn(mesh.width() as u32, mesh.height() as u32, |c| automaton.init(c));
+    let mut states = Grid::from_fn(mesh.width() as u32, mesh.height() as u32, |c| {
+        automaton.init(c)
+    });
     let mut stats = RoundStats::quiescent();
 
     let mut neighbor_buf: Vec<(Coord, A::State)> = Vec::with_capacity(4);
@@ -56,7 +66,8 @@ pub fn run_local_rule_with_limit<A: LocalRuleAutomaton>(
             for n in mesh.neighbors4(c) {
                 neighbor_buf.push((n, states[n].clone()));
             }
-            let borrowed: Vec<(Coord, &A::State)> = neighbor_buf.iter().map(|(n, s)| (*n, s)).collect();
+            let borrowed: Vec<(Coord, &A::State)> =
+                neighbor_buf.iter().map(|(n, s)| (*n, s)).collect();
             let next = automaton.step(c, &states[c], &borrowed);
             if next != states[c] {
                 changes.push((c, next));
@@ -98,7 +109,12 @@ mod tests {
     #[test]
     fn flood_round_count_equals_eccentricity() {
         let mesh = Mesh2D::square(6);
-        let (states, stats) = run_local_rule(&mesh, &Flood { source: Coord::new(0, 0) });
+        let (states, stats) = run_local_rule(
+            &mesh,
+            &Flood {
+                source: Coord::new(0, 0),
+            },
+        );
         assert!(stats.converged);
         // the farthest node is at Manhattan distance 10
         assert_eq!(stats.rounds, 10);
@@ -108,8 +124,18 @@ mod tests {
     #[test]
     fn flood_from_center_is_faster() {
         let mesh = Mesh2D::square(7);
-        let (_, corner) = run_local_rule(&mesh, &Flood { source: Coord::new(0, 0) });
-        let (_, center) = run_local_rule(&mesh, &Flood { source: Coord::new(3, 3) });
+        let (_, corner) = run_local_rule(
+            &mesh,
+            &Flood {
+                source: Coord::new(0, 0),
+            },
+        );
+        let (_, center) = run_local_rule(
+            &mesh,
+            &Flood {
+                source: Coord::new(3, 3),
+            },
+        );
         assert!(center.rounds < corner.rounds);
         assert_eq!(center.rounds, 6);
     }
@@ -137,7 +163,13 @@ mod tests {
     #[test]
     fn round_limit_reports_non_convergence() {
         let mesh = Mesh2D::square(8);
-        let (_, stats) = run_local_rule_with_limit(&mesh, &Flood { source: Coord::new(0, 0) }, 3);
+        let (_, stats) = run_local_rule_with_limit(
+            &mesh,
+            &Flood {
+                source: Coord::new(0, 0),
+            },
+            3,
+        );
         assert_eq!(stats.rounds, 3);
         assert!(!stats.converged);
     }
@@ -145,7 +177,12 @@ mod tests {
     #[test]
     fn events_count_state_changes() {
         let mesh = Mesh2D::square(3);
-        let (_, stats) = run_local_rule(&mesh, &Flood { source: Coord::new(1, 1) });
+        let (_, stats) = run_local_rule(
+            &mesh,
+            &Flood {
+                source: Coord::new(1, 1),
+            },
+        );
         // every node except the source changes exactly once
         assert_eq!(stats.events, (mesh.node_count() - 1) as u64);
     }
@@ -153,7 +190,12 @@ mod tests {
     #[test]
     fn torus_flood_wraps_around() {
         let mesh = Mesh2D::torus(6, 6);
-        let (_, stats) = run_local_rule(&mesh, &Flood { source: Coord::new(0, 0) });
+        let (_, stats) = run_local_rule(
+            &mesh,
+            &Flood {
+                source: Coord::new(0, 0),
+            },
+        );
         // torus diameter is 6 for a 6x6 torus
         assert_eq!(stats.rounds, 6);
     }

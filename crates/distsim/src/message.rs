@@ -116,7 +116,10 @@ impl<'m, A: MessageAutomaton> MessageEngine<'m, A> {
                     env.to
                 );
                 if self.mesh.contains(env.to) {
-                    self.in_flight.entry(env.to).or_default().push((dest, env.payload));
+                    self.in_flight
+                        .entry(env.to)
+                        .or_default()
+                        .push((dest, env.payload));
                 }
             }
         }
@@ -186,7 +189,12 @@ mod tests {
             }
         }
 
-        fn on_deliver(&self, c: Coord, state: &mut Visit, inbox: &[(Coord, u32)]) -> Vec<Envelope<u32>> {
+        fn on_deliver(
+            &self,
+            c: Coord,
+            state: &mut Visit,
+            inbox: &[(Coord, u32)],
+        ) -> Vec<Envelope<u32>> {
             let &(_, hops) = inbox.first().expect("delivered with empty inbox");
             state.visited_at_round = Some(hops);
             vec![Envelope::new(c.offset(1, 0), hops + 1)]

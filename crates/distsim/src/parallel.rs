@@ -15,7 +15,11 @@ use mesh2d::{Coord, Grid, Mesh2D};
 /// computes each round with `threads` worker threads.
 ///
 /// `threads == 0` or `threads == 1` falls back to the sequential engine.
-pub fn run_local_rule_parallel<A>(mesh: &Mesh2D, automaton: &A, threads: usize) -> (Grid<A::State>, RoundStats)
+pub fn run_local_rule_parallel<A>(
+    mesh: &Mesh2D,
+    automaton: &A,
+    threads: usize,
+) -> (Grid<A::State>, RoundStats)
 where
     A: LocalRuleAutomaton + Sync,
     A::State: Send + Sync,

@@ -1,14 +1,18 @@
 //! Regenerates the paper's figures as plain-text tables.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin paper-figures -- all
-//! cargo run --release -p experiments --bin paper-figures -- fig9a fig11b
-//! cargo run --release -p experiments --bin paper-figures -- --quick all
-//! cargo run --release -p experiments --bin paper-figures -- --trials 3 fig10a
+//! cargo run --release -p experiments --bin paper_figures -- all
+//! cargo run --release -p experiments --bin paper_figures -- fig9a fig11b
+//! cargo run --release -p experiments --bin paper_figures -- --quick all
+//! cargo run --release -p experiments --bin paper_figures -- --trials 3 fig10a
+//! cargo run --release -p experiments --bin paper_figures -- --list-models
 //! ```
 //!
 //! `--quick` runs a small 30×30 sweep (useful as a smoke test); the default
-//! reproduces the paper's 100×100 mesh with 100..800 faults.
+//! reproduces the paper's 100×100 mesh with 100..800 faults. Every figure is
+//! produced by the same scenario runner: the models are resolved by name
+//! through the standard model registry (`--list-models` prints it), and the
+//! random and clustered sweeps run concurrently.
 
 use experiments::fig10::figure10;
 use experiments::fig11::figure11;
@@ -18,7 +22,8 @@ use faultgen::FaultDistribution;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper-figures [--quick] [--trials N] [--csv] <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>..."
+        "usage: paper_figures [--quick] [--trials N] [--csv] [--list-models] \
+         <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>..."
     );
     std::process::exit(2);
 }
@@ -38,6 +43,13 @@ fn main() {
                 let n = args.next().unwrap_or_else(|| usage());
                 trials = Some(n.parse().unwrap_or_else(|_| usage()));
             }
+            "--list-models" => {
+                println!("registered fault models (mocp_core::standard_registry):");
+                for (name, description) in mocp_core::standard_registry().descriptions() {
+                    println!("  {name:<6} {description}");
+                }
+                return;
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => figures.push(other.to_string()),
@@ -47,7 +59,11 @@ fn main() {
         figures.push("all".to_string());
     }
 
-    let mut config = if quick { SweepConfig::quick() } else { SweepConfig::default() };
+    let mut config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
     if let Some(t) = trials {
         config.trials = t;
     }
@@ -56,8 +72,11 @@ fn main() {
     let need_random = ["fig9a", "fig10a", "fig11a"].iter().any(|f| wants(f));
     let need_clustered = ["fig9b", "fig10b", "fig11b"].iter().any(|f| wants(f));
 
-    let random = need_random.then(|| run_sweep(&config, FaultDistribution::Random));
-    let clustered = need_clustered.then(|| run_sweep(&config, FaultDistribution::Clustered));
+    // The two distributions are independent sweeps; run them concurrently.
+    let (random, clustered) = rayon::join(
+        || need_random.then(|| run_sweep(&config, FaultDistribution::Random)),
+        || need_clustered.then(|| run_sweep(&config, FaultDistribution::Clustered)),
+    );
 
     let emit = |series: &experiments::Series| {
         if csv {
@@ -67,18 +86,19 @@ fn main() {
         }
     };
 
-    let print_for = |result: &SweepResult, fig9_wanted: bool, fig10_wanted: bool, fig11_wanted: bool| {
-        if fig9_wanted {
-            emit(&figure9(result));
-            emit(&figure9_raw(result));
-        }
-        if fig10_wanted {
-            emit(&figure10(result));
-        }
-        if fig11_wanted {
-            emit(&figure11(result));
-        }
-    };
+    let print_for =
+        |result: &SweepResult, fig9_wanted: bool, fig10_wanted: bool, fig11_wanted: bool| {
+            if fig9_wanted {
+                emit(&figure9(result));
+                emit(&figure9_raw(result));
+            }
+            if fig10_wanted {
+                emit(&figure10(result));
+            }
+            if fig11_wanted {
+                emit(&figure11(result));
+            }
+        };
 
     if let Some(r) = &random {
         print_for(r, wants("fig9a"), wants("fig10a"), wants("fig11a"));

@@ -18,7 +18,11 @@ pub fn figure10(result: &SweepResult) -> Series {
     for p in &result.points {
         series.push_row(
             p.fault_count,
-            vec![p.fb.avg_region_size, p.fp.avg_region_size, p.cmfp.avg_region_size],
+            vec![
+                p.fb.avg_region_size,
+                p.fp.avg_region_size,
+                p.cmfp.avg_region_size,
+            ],
         );
     }
     series

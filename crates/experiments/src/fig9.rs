@@ -44,7 +44,11 @@ pub fn figure9_raw(result: &SweepResult) -> Series {
     for p in &result.points {
         series.push_row(
             p.fault_count,
-            vec![p.fb.disabled_nonfaulty, p.fp.disabled_nonfaulty, p.cmfp.disabled_nonfaulty],
+            vec![
+                p.fb.disabled_nonfaulty,
+                p.fp.disabled_nonfaulty,
+                p.cmfp.disabled_nonfaulty,
+            ],
         );
     }
     series

@@ -12,12 +12,16 @@
 //! * **Figure 11** — average number of rounds of status determination under
 //!   FB, FP, CMFP and DMFP.
 //!
-//! This crate contains the sweep driver ([`sweep`]) that regenerates all
-//! three figures from one pass over the fault counts, per-figure series
-//! extractors ([`fig9`], [`fig10`], [`fig11`]), plain-text/CSV rendering
-//! ([`table`]), and the `paper-figures` binary that prints any figure from
-//! the command line. The Criterion benches in the `bench` crate reuse the
-//! same sweep code so the benchmarked work is exactly the reported work.
+//! This crate contains the scenario-driven runner ([`scenario`]) that
+//! executes any declarative [`Scenario`] — mesh size, fault distribution
+//! and counts, model names resolved through the model registry, trial
+//! count — with one code path, the compatibility sweep driver
+//! ([`sweep`]) that regenerates all three figures from one pass over the
+//! fault counts, per-figure series extractors ([`fig9`], [`fig10`],
+//! [`fig11`]), plain-text/CSV rendering ([`table`]), and the
+//! `paper_figures` binary that prints any figure from the command line.
+//! The Criterion benches in the `bench` crate reuse the same sweep code
+//! so the benchmarked work is exactly the reported work.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,8 +29,10 @@
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod scenario;
 pub mod sweep;
 pub mod table;
 
+pub use scenario::{run_scenario, Metric, Scenario, ScenarioPoint, ScenarioResult};
 pub use sweep::{run_sweep, ModelPoint, SweepConfig, SweepPoint, SweepResult};
 pub use table::{render_csv, render_table, Series};

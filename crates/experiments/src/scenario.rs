@@ -1,0 +1,392 @@
+//! The scenario-driven sweep runner — one code path for every figure.
+//!
+//! A [`Scenario`] describes an experiment as data: mesh size, fault
+//! distribution and counts (from `faultgen`), the *names* of the models
+//! to run (resolved through a [`ModelRegistry`]), and how many seeded
+//! trials to average. [`run_scenario`] executes any scenario with the
+//! same trial-parallel loop, so reproducing a new figure — or adding a
+//! whole new fault model to every figure — is a one-line change: a new
+//! registry entry or a new name in [`Scenario::models`], not a new
+//! module.
+//!
+//! The paper's Figures 9–11 are the scenario built by
+//! [`Scenario::paper_figures`]; the legacy [`run_sweep`](crate::run_sweep)
+//! API is a thin adapter over this runner.
+
+use crate::sweep::{ModelPoint, SweepConfig};
+use crate::table::Series;
+use faultgen::{FaultDistribution, FaultInjector};
+use fblock::{BoxedModel, ModelRegistry, UnknownModel};
+use mesh2d::Mesh2D;
+use serde::{Deserialize, Serialize};
+
+/// A declarative description of one sweep experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name, used in reported series titles.
+    pub name: String,
+    /// Mesh side length (the paper uses 100).
+    pub mesh_size: u32,
+    /// Fault distribution model driving the injector.
+    pub distribution: FaultDistribution,
+    /// Fault counts to evaluate, in ascending order.
+    pub fault_counts: Vec<usize>,
+    /// Names of the fault models to run, resolved through the registry
+    /// passed to [`run_scenario`].
+    pub models: Vec<String>,
+    /// Number of independent trials averaged per point.
+    pub trials: u32,
+    /// Base RNG seed; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with sensible defaults: 100×100 mesh, the paper's
+    /// 100..800 fault counts under the random distribution, all four
+    /// paper models, 5 trials.
+    pub fn new(name: impl Into<String>) -> Self {
+        let config = SweepConfig::default();
+        Scenario {
+            name: name.into(),
+            mesh_size: config.mesh_size,
+            distribution: FaultDistribution::Random,
+            fault_counts: config.fault_counts,
+            models: paper_model_names(),
+            trials: config.trials,
+            base_seed: config.base_seed,
+        }
+    }
+
+    /// The scenario behind the paper's Figures 9–11: the four models of
+    /// the paper under `distribution`, sized by `config`.
+    pub fn paper_figures(config: &SweepConfig, distribution: FaultDistribution) -> Self {
+        Scenario {
+            name: format!("paper-figures-{}", distribution.label()),
+            mesh_size: config.mesh_size,
+            distribution,
+            fault_counts: config.fault_counts.clone(),
+            models: paper_model_names(),
+            trials: config.trials,
+            base_seed: config.base_seed,
+        }
+    }
+
+    /// Replaces the model list (builder style).
+    pub fn with_models<S: Into<String>>(mut self, models: impl IntoIterator<Item = S>) -> Self {
+        self.models = models.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replaces the fault distribution (builder style).
+    pub fn with_distribution(mut self, distribution: FaultDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+}
+
+/// The four models of the paper, in presentation order.
+pub fn paper_model_names() -> Vec<String> {
+    ["FB", "FP", "CMFP", "DMFP"].map(String::from).to_vec()
+}
+
+/// Which [`ModelPoint`] metric a figure plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Non-faulty nodes the model disabled (Figure 9).
+    DisabledNonfaulty,
+    /// Average region size in nodes, faults included (Figure 10).
+    AvgRegionSize,
+    /// Rounds of status determination (Figure 11).
+    Rounds,
+}
+
+impl Metric {
+    /// Short label used in series titles.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::DisabledNonfaulty => "disabled non-faulty nodes",
+            Metric::AvgRegionSize => "avg region size",
+            Metric::Rounds => "rounds",
+        }
+    }
+
+    /// Extracts this metric from one model point.
+    pub fn of(self, point: &ModelPoint) -> f64 {
+        match self {
+            Metric::DisabledNonfaulty => point.disabled_nonfaulty,
+            Metric::AvgRegionSize => point.avg_region_size,
+            Metric::Rounds => point.rounds,
+        }
+    }
+}
+
+/// One x-axis point: per-model metrics at one fault count, parallel to
+/// the scenario's model list.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPoint {
+    /// Number of faults injected.
+    pub fault_count: usize,
+    /// Averaged metrics, one entry per scenario model, in order.
+    pub metrics: Vec<ModelPoint>,
+}
+
+/// The averaged outcome of running a scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// One entry per fault count, in the scenario's order.
+    pub points: Vec<ScenarioPoint>,
+}
+
+impl ScenarioResult {
+    /// The model names of this result, in column order.
+    pub fn models(&self) -> &[String] {
+        &self.scenario.models
+    }
+
+    /// The per-fault-count metric points of one model.
+    pub fn model_curve(&self, name: &str) -> Option<Vec<ModelPoint>> {
+        let idx = self
+            .scenario
+            .models
+            .iter()
+            .position(|m| m.eq_ignore_ascii_case(name))?;
+        Some(self.points.iter().map(|p| p.metrics[idx]).collect())
+    }
+
+    /// Renders one metric of every model as a [`Series`] (the CSV/table
+    /// shape all figures share).
+    pub fn series(&self, metric: Metric) -> Series {
+        let mut series = Series::new(
+            format!("{}: {}", self.scenario.name, metric.label()),
+            "faults".to_string(),
+            self.scenario.models.clone(),
+        );
+        for point in &self.points {
+            series.push_row(
+                point.fault_count,
+                point.metrics.iter().map(|m| metric.of(m)).collect(),
+            );
+        }
+        series
+    }
+}
+
+/// Runs every model of `scenario` (resolved through `registry`) over its
+/// fault counts, averaging `trials` independent seeded fault sequences.
+/// Trials run on separate threads; the result is deterministic for a
+/// given scenario.
+///
+/// Fails fast with [`UnknownModel`] if any model name does not resolve —
+/// before any trial work starts.
+pub fn run_scenario(
+    registry: &ModelRegistry,
+    scenario: &Scenario,
+) -> Result<ScenarioResult, UnknownModel> {
+    for name in &scenario.models {
+        registry.build(name)?;
+    }
+
+    let trials = scenario.trials.max(1);
+    let trial_results: Vec<Vec<ScenarioPoint>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..trials)
+            .map(|t| scope.spawn(move |_| run_trial(registry, scenario, t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial panicked"))
+            .collect()
+    })
+    .expect("scenario scope panicked");
+
+    let mut points: Vec<ScenarioPoint> = scenario
+        .fault_counts
+        .iter()
+        .map(|&fault_count| ScenarioPoint {
+            fault_count,
+            metrics: vec![ModelPoint::default(); scenario.models.len()],
+        })
+        .collect();
+    for trial in &trial_results {
+        for (acc, p) in points.iter_mut().zip(trial) {
+            for (acc_m, m) in acc.metrics.iter_mut().zip(&p.metrics) {
+                acc_m.accumulate(*m);
+            }
+        }
+    }
+    let factor = 1.0 / trials as f64;
+    for p in &mut points {
+        for m in &mut p.metrics {
+            m.scale(factor);
+        }
+    }
+
+    Ok(ScenarioResult {
+        scenario: scenario.clone(),
+        points,
+    })
+}
+
+/// One seeded pass over the fault counts: inject incrementally, run
+/// every model at each count.
+fn run_trial(registry: &ModelRegistry, scenario: &Scenario, trial: u32) -> Vec<ScenarioPoint> {
+    let mesh = Mesh2D::square(scenario.mesh_size);
+    let models: Vec<BoxedModel> = scenario
+        .models
+        .iter()
+        .map(|name| {
+            registry
+                .build(name)
+                .expect("names validated by run_scenario")
+        })
+        .collect();
+    let mut injector = FaultInjector::new(
+        mesh,
+        scenario.distribution,
+        scenario.base_seed + trial as u64,
+    );
+    let mut points = Vec::with_capacity(scenario.fault_counts.len());
+    for &count in &scenario.fault_counts {
+        injector.inject_up_to(count);
+        let faults = injector.faults();
+        points.push(ScenarioPoint {
+            fault_count: count,
+            metrics: models
+                .iter()
+                .map(|model| ModelPoint::from_outcome(&model.construct(&mesh, faults)))
+                .collect(),
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distsim::RoundStats;
+    use fblock::{FaultModel, FaultyBlockModel, ModelOutcome};
+    use mesh2d::FaultSet;
+
+    fn quick_scenario(models: &[&str]) -> Scenario {
+        Scenario {
+            name: "quick".to_string(),
+            mesh_size: 20,
+            distribution: FaultDistribution::Clustered,
+            fault_counts: vec![10, 20],
+            models: models.iter().map(|m| m.to_string()).collect(),
+            trials: 2,
+            base_seed: 5,
+        }
+    }
+
+    #[test]
+    fn runs_an_arbitrary_model_subset() {
+        let registry = mocp_core::standard_registry();
+        let result = run_scenario(&registry, &quick_scenario(&["FP", "FB"])).unwrap();
+        assert_eq!(result.models(), ["FP", "FB"]);
+        assert_eq!(result.points.len(), 2);
+        for p in &result.points {
+            assert_eq!(p.metrics.len(), 2);
+            // FP (column 0) never disables more than FB (column 1)
+            assert!(p.metrics[0].disabled_nonfaulty <= p.metrics[1].disabled_nonfaulty + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unknown_model_fails_before_running() {
+        let registry = mocp_core::standard_registry();
+        let err = run_scenario(&registry, &quick_scenario(&["FB", "MFP"])).unwrap_err();
+        assert_eq!(err.requested, "MFP");
+    }
+
+    #[test]
+    fn matches_the_legacy_sweep_for_the_paper_models() {
+        let config = SweepConfig::quick();
+        let registry = mocp_core::standard_registry();
+        let scenario = Scenario::paper_figures(&config, FaultDistribution::Random);
+        let result = run_scenario(&registry, &scenario).unwrap();
+        let sweep = crate::run_sweep(&config, FaultDistribution::Random);
+        for (sp, lp) in result.points.iter().zip(&sweep.points) {
+            assert_eq!(sp.fault_count, lp.fault_count);
+            assert_eq!(sp.metrics[0], lp.fb);
+            assert_eq!(sp.metrics[1], lp.fp);
+            assert_eq!(sp.metrics[2], lp.cmfp);
+            assert_eq!(sp.metrics[3], lp.dmfp);
+        }
+    }
+
+    #[test]
+    fn series_extracts_one_metric_per_model() {
+        let registry = mocp_core::standard_registry();
+        let result = run_scenario(&registry, &quick_scenario(&["FB", "CMFP"])).unwrap();
+        let series = result.series(Metric::DisabledNonfaulty);
+        assert_eq!(series.curves, vec!["FB", "CMFP"]);
+        assert_eq!(series.rows.len(), 2);
+        let fb = series.curve("FB").unwrap();
+        let cmfp = series.curve("CMFP").unwrap();
+        for i in 0..fb.len() {
+            assert!(cmfp[i] <= fb[i] + 1e-9);
+        }
+        assert!(series.title.contains("disabled non-faulty nodes"));
+    }
+
+    /// A model extension is one registry entry — nothing else changes.
+    #[test]
+    fn new_models_join_sweeps_via_a_single_registry_entry() {
+        struct RenamedFb;
+        impl FaultModel for RenamedFb {
+            fn name(&self) -> &'static str {
+                "FB2"
+            }
+            fn construct(&self, mesh: &Mesh2D, faults: &FaultSet) -> ModelOutcome {
+                ModelOutcome {
+                    model: self.name().to_string(),
+                    ..FaultyBlockModel.construct(mesh, faults)
+                }
+            }
+        }
+
+        let mut registry = mocp_core::standard_registry();
+        registry.register("FB2", "faulty block under a second name", || {
+            Box::new(RenamedFb)
+        });
+        let result = run_scenario(&registry, &quick_scenario(&["FB", "FB2"])).unwrap();
+        for p in &result.points {
+            assert_eq!(
+                p.metrics[0], p.metrics[1],
+                "same construction, same metrics"
+            );
+        }
+    }
+
+    #[test]
+    fn metric_labels_and_extraction() {
+        let point = ModelPoint {
+            disabled_nonfaulty: 1.0,
+            avg_region_size: 2.0,
+            rounds: 3.0,
+        };
+        assert_eq!(Metric::DisabledNonfaulty.of(&point), 1.0);
+        assert_eq!(Metric::AvgRegionSize.of(&point), 2.0);
+        assert_eq!(Metric::Rounds.of(&point), 3.0);
+        assert!(!Metric::Rounds.label().is_empty());
+    }
+
+    #[test]
+    fn builder_helpers_replace_fields() {
+        let s = Scenario::new("custom")
+            .with_models(["FB"])
+            .with_distribution(FaultDistribution::Clustered);
+        assert_eq!(s.models, vec!["FB".to_string()]);
+        assert_eq!(s.distribution, FaultDistribution::Clustered);
+        assert_eq!(s.mesh_size, 100);
+    }
+
+    #[test]
+    fn rounds_stats_default_sanity() {
+        // Guard against RoundStats default drifting: quiescent means zero
+        // rounds, which the averaging relies on for empty accumulators.
+        assert_eq!(RoundStats::quiescent().rounds, 0);
+    }
+}

@@ -1,9 +1,16 @@
 //! The fault-count sweep shared by every figure.
+//!
+//! Since the scenario refactor this module is the *presentation-shaped*
+//! view of the paper's standard sweep: [`run_sweep`] builds the
+//! four-model [`Scenario`](crate::scenario::Scenario), executes it
+//! through [`run_scenario`](crate::scenario::run_scenario) with the
+//! standard model registry, and reshapes the result into the fixed
+//! FB/FP/CMFP/DMFP columns of [`SweepPoint`] that the figure extractors
+//! consume.
 
-use faultgen::{FaultDistribution, FaultInjector};
-use fblock::{FaultModel, FaultyBlockModel, ModelOutcome, SubMinimumPolygonModel};
-use mesh2d::Mesh2D;
-use mocp_core::{CentralizedMfpModel, DistributedMfpModel};
+use crate::scenario::{run_scenario, Scenario};
+use faultgen::FaultDistribution;
+use fblock::ModelOutcome;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one sweep (one curve family of Figures 9–11).
@@ -63,7 +70,8 @@ pub struct ModelPoint {
 }
 
 impl ModelPoint {
-    fn from_outcome(outcome: &ModelOutcome) -> Self {
+    /// Extracts the three figure metrics from one construction outcome.
+    pub fn from_outcome(outcome: &ModelOutcome) -> Self {
         ModelPoint {
             disabled_nonfaulty: outcome.disabled_nonfaulty() as f64,
             avg_region_size: outcome.average_region_size(),
@@ -71,13 +79,13 @@ impl ModelPoint {
         }
     }
 
-    fn accumulate(&mut self, other: ModelPoint) {
+    pub(crate) fn accumulate(&mut self, other: ModelPoint) {
         self.disabled_nonfaulty += other.disabled_nonfaulty;
         self.avg_region_size += other.avg_region_size;
         self.rounds += other.rounds;
     }
 
-    fn scale(&mut self, factor: f64) {
+    pub(crate) fn scale(&mut self, factor: f64) {
         self.disabled_nonfaulty *= factor;
         self.avg_region_size *= factor;
         self.rounds *= factor;
@@ -111,65 +119,29 @@ pub struct SweepResult {
     pub points: Vec<SweepPoint>,
 }
 
-/// Runs the constructions for every fault count of one trial.
-fn run_trial(config: &SweepConfig, distribution: FaultDistribution, trial: u32) -> Vec<SweepPoint> {
-    let mesh = Mesh2D::square(config.mesh_size);
-    let mut injector = FaultInjector::new(mesh, distribution, config.base_seed + trial as u64);
-    let mut points = Vec::with_capacity(config.fault_counts.len());
-    for &count in &config.fault_counts {
-        injector.inject_up_to(count);
-        let faults = injector.faults();
-        let fb = FaultyBlockModel.construct(&mesh, faults);
-        let fp = SubMinimumPolygonModel.construct(&mesh, faults);
-        let cmfp = CentralizedMfpModel::virtual_block().construct(&mesh, faults);
-        let dmfp = DistributedMfpModel.construct(&mesh, faults);
-        points.push(SweepPoint {
-            fault_count: count,
-            fb: ModelPoint::from_outcome(&fb),
-            fp: ModelPoint::from_outcome(&fp),
-            cmfp: ModelPoint::from_outcome(&cmfp),
-            dmfp: ModelPoint::from_outcome(&dmfp),
-        });
-    }
-    points
-}
-
-/// Runs the sweep, averaging over `config.trials` independent fault
-/// sequences. Trials run on separate threads (crossbeam scope) because each
-/// is an independent simulation.
+/// Runs the paper's standard four-model sweep, averaging over
+/// `config.trials` independent fault sequences.
+///
+/// This is a compatibility adapter: the actual execution is the
+/// scenario runner ([`run_scenario`]) with the models FB, FP, CMFP and
+/// DMFP resolved by name through [`mocp_core::standard_registry`].
 pub fn run_sweep(config: &SweepConfig, distribution: FaultDistribution) -> SweepResult {
-    let trials = config.trials.max(1);
-    let trial_results: Vec<Vec<SweepPoint>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..trials)
-            .map(|t| scope.spawn(move |_| run_trial(config, distribution, t)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("trial panicked")).collect()
-    })
-    .expect("sweep scope panicked");
+    let registry = mocp_core::standard_registry();
+    let scenario = Scenario::paper_figures(config, distribution);
+    let result = run_scenario(&registry, &scenario)
+        .expect("the standard registry provides every paper model");
 
-    let mut points: Vec<SweepPoint> = config
-        .fault_counts
+    let points = result
+        .points
         .iter()
-        .map(|&fault_count| SweepPoint {
-            fault_count,
-            ..SweepPoint::default()
+        .map(|p| SweepPoint {
+            fault_count: p.fault_count,
+            fb: p.metrics[0],
+            fp: p.metrics[1],
+            cmfp: p.metrics[2],
+            dmfp: p.metrics[3],
         })
         .collect();
-    for trial in &trial_results {
-        for (acc, p) in points.iter_mut().zip(trial) {
-            acc.fb.accumulate(p.fb);
-            acc.fp.accumulate(p.fp);
-            acc.cmfp.accumulate(p.cmfp);
-            acc.dmfp.accumulate(p.dmfp);
-        }
-    }
-    let factor = 1.0 / trials as f64;
-    for p in &mut points {
-        p.fb.scale(factor);
-        p.fp.scale(factor);
-        p.cmfp.scale(factor);
-        p.dmfp.scale(factor);
-    }
 
     SweepResult {
         distribution,
@@ -200,8 +172,14 @@ mod tests {
         for dist in FaultDistribution::ALL {
             let result = run_sweep(&config, dist);
             for p in &result.points {
-                assert!(p.cmfp.disabled_nonfaulty <= p.fp.disabled_nonfaulty + 1e-9, "{dist:?}");
-                assert!(p.fp.disabled_nonfaulty <= p.fb.disabled_nonfaulty + 1e-9, "{dist:?}");
+                assert!(
+                    p.cmfp.disabled_nonfaulty <= p.fp.disabled_nonfaulty + 1e-9,
+                    "{dist:?}"
+                );
+                assert!(
+                    p.fp.disabled_nonfaulty <= p.fb.disabled_nonfaulty + 1e-9,
+                    "{dist:?}"
+                );
                 assert!((p.cmfp.disabled_nonfaulty - p.dmfp.disabled_nonfaulty).abs() < 1e-9);
                 assert!(p.fp.rounds >= p.fb.rounds, "FP adds scheme-2 rounds");
             }

@@ -17,7 +17,8 @@ pub enum FaultDistribution {
 
 impl FaultDistribution {
     /// Both models, in the order the paper presents them.
-    pub const ALL: [FaultDistribution; 2] = [FaultDistribution::Random, FaultDistribution::Clustered];
+    pub const ALL: [FaultDistribution; 2] =
+        [FaultDistribution::Random, FaultDistribution::Clustered];
 
     /// Short label used by the experiment harness ("random" / "clustered").
     pub fn label(self) -> &'static str {
@@ -170,7 +171,10 @@ mod tests {
             let faults = generate_faults(mesh, 50, dist, 7);
             assert_eq!(faults.len(), 50, "{dist:?}");
             // FaultSet rejects duplicates, so length == 50 implies distinct.
-            assert!(faults.in_insertion_order().iter().all(|c| mesh.contains(*c)));
+            assert!(faults
+                .in_insertion_order()
+                .iter()
+                .all(|c| mesh.contains(*c)));
         }
     }
 

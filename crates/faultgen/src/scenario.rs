@@ -37,7 +37,8 @@ fn coords(list: &[(i32, i32)]) -> Vec<Coord> {
 pub fn figure2_l_shape() -> Scenario {
     Scenario {
         name: "figure2-l-shape",
-        description: "L-shaped faulty polygon used by the extended e-cube routing example (Figure 2)",
+        description:
+            "L-shaped faulty polygon used by the extended e-cube routing example (Figure 2)",
         mesh: Mesh2D::square(8),
         faults: coords(&[(2, 4), (3, 4), (4, 3)]),
     }
@@ -76,7 +77,8 @@ pub fn figure8_component() -> Scenario {
 pub fn figure3_two_groups() -> Scenario {
     Scenario {
         name: "figure3-two-groups",
-        description: "two nearby fault groups whose faulty block over-approximates heavily (Figure 3)",
+        description:
+            "two nearby fault groups whose faulty block over-approximates heavily (Figure 3)",
         mesh: Mesh2D::square(12),
         faults: coords(&[
             // left group: a small diagonal cluster
@@ -172,7 +174,12 @@ mod tests {
             for f in &s.faults {
                 assert!(s.mesh.contains(*f), "{}: {f} outside mesh", s.name);
             }
-            assert_eq!(s.fault_set().len(), s.faults.len(), "{}: duplicate fault", s.name);
+            assert_eq!(
+                s.fault_set().len(),
+                s.faults.len(),
+                "{}: duplicate fault",
+                s.name
+            );
         }
     }
 

@@ -35,7 +35,11 @@ pub struct FaultyBlockModel;
 
 impl FaultyBlockModel {
     /// Runs labelling scheme 1 and returns the blocks alongside the outcome.
-    pub fn construct_with_blocks(&self, mesh: &Mesh2D, faults: &FaultSet) -> (ModelOutcome, Vec<Rect>) {
+    pub fn construct_with_blocks(
+        &self,
+        mesh: &Mesh2D,
+        faults: &FaultSet,
+    ) -> (ModelOutcome, Vec<Rect>) {
         let (safety, rounds) = label_safety(mesh, faults);
         let blocks = extract_faulty_blocks(&safety);
 
@@ -94,7 +98,11 @@ mod tests {
         let blocks = extract_faulty_blocks(&safety);
         assert_eq!(blocks.len(), 2);
         for (rect, region) in &blocks {
-            assert_eq!(rect.area(), region.len(), "unsafe component must be a full rectangle");
+            assert_eq!(
+                rect.area(),
+                region.len(),
+                "unsafe component must be a full rectangle"
+            );
         }
     }
 

@@ -18,17 +18,22 @@
 //!
 //! The crate also defines the [`FaultModel`] trait and its [`ModelOutcome`],
 //! the uniform interface through which the experiment harness drives FB, FP
-//! and (from the `mocp-core` crate) the minimum-polygon constructions.
+//! and (from the `mocp-core` crate) the minimum-polygon constructions, and
+//! the [`ModelRegistry`] that resolves models by name so sweeps can be
+//! described as data ([`ModelRegistry::baseline`] registers FB and FP;
+//! `mocp_core::standard_registry()` adds CMFP and DMFP).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod blocks;
 pub mod model;
+pub mod registry;
 pub mod scheme1;
 pub mod scheme2;
 
 pub use blocks::{extract_faulty_blocks, FaultyBlockModel};
 pub use model::{FaultModel, ModelOutcome};
+pub use registry::{BoxedModel, ModelRegistry, UnknownModel};
 pub use scheme1::label_safety;
 pub use scheme2::{label_activation, SubMinimumPolygonModel};

@@ -127,7 +127,10 @@ mod tests {
     #[test]
     fn u_shape_fills_to_rectangle() {
         let mesh = Mesh2D::square(8);
-        let fs = faults(mesh, &[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)]);
+        let fs = faults(
+            mesh,
+            &[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)],
+        );
         let (grid, _) = label_safety(&mesh, &fs);
         let region = unsafe_region(&grid);
         assert_eq!(region.len(), 9, "the 3x3 bounding rectangle becomes unsafe");

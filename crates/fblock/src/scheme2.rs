@@ -12,7 +12,9 @@
 use crate::model::{FaultModel, ModelOutcome};
 use crate::scheme1::label_safety;
 use distsim::{run_local_rule, LocalRuleAutomaton, RoundStats};
-use mesh2d::{Activation, Connectivity, Coord, FaultSet, Grid, Mesh2D, NodeStatus, Region, Safety, StatusMap};
+use mesh2d::{
+    Activation, Connectivity, Coord, FaultSet, Grid, Mesh2D, NodeStatus, Region, Safety, StatusMap,
+};
 
 /// Labelling scheme 2 as a local rule over [`Activation`] states.
 ///
@@ -41,7 +43,12 @@ impl LocalRuleAutomaton for Scheme2Rule<'_> {
         }
     }
 
-    fn step(&self, c: Coord, current: &Activation, neighbors: &[(Coord, &Activation)]) -> Activation {
+    fn step(
+        &self,
+        c: Coord,
+        current: &Activation,
+        neighbors: &[(Coord, &Activation)],
+    ) -> Activation {
         if self.faults.is_faulty(c) {
             return Activation::Disabled;
         }
@@ -169,12 +176,25 @@ mod tests {
         let mesh = Mesh2D::square(14);
         let fs = faults(
             mesh,
-            &[(2, 2), (3, 3), (4, 2), (2, 6), (3, 7), (9, 9), (10, 10), (11, 9), (10, 8)],
+            &[
+                (2, 2),
+                (3, 3),
+                (4, 2),
+                (2, 6),
+                (3, 7),
+                (9, 9),
+                (10, 10),
+                (11, 9),
+                (10, 8),
+            ],
         );
         let fb = crate::FaultyBlockModel.construct(&mesh, &fs);
         let fp = SubMinimumPolygonModel.construct(&mesh, &fs);
         assert!(fp.disabled_nonfaulty() <= fb.disabled_nonfaulty());
-        assert!(fp.rounds.rounds >= fb.rounds.rounds, "FP adds scheme-2 rounds");
+        assert!(
+            fp.rounds.rounds >= fb.rounds.rounds,
+            "FP adds scheme-2 rounds"
+        );
     }
 
     #[test]
@@ -220,7 +240,11 @@ mod tests {
     #[test]
     fn shrink_component_of_staircase_adds_nothing() {
         let mesh = Mesh2D::square(10);
-        let stairs = Region::from_coords([(2, 2), (3, 3), (4, 4), (5, 5)].iter().map(|&(x, y)| Coord::new(x, y)));
+        let stairs = Region::from_coords(
+            [(2, 2), (3, 3), (4, 4), (5, 5)]
+                .iter()
+                .map(|&(x, y)| Coord::new(x, y)),
+        );
         let (polygon, _) = shrink_component(&mesh, &stairs);
         assert_eq!(polygon, stairs);
     }

@@ -191,7 +191,7 @@ mod tests {
     fn initiator_priority_orders_west_most_first() {
         // The west-most south-west corner should dominate: smaller x wins,
         // ties broken by smaller y.
-        let mut corners = vec![Coord::new(3, 1), Coord::new(1, 5), Coord::new(1, 2)];
+        let mut corners = [Coord::new(3, 1), Coord::new(1, 5), Coord::new(1, 2)];
         corners.sort_by_key(|c| c.initiator_priority());
         assert_eq!(corners[0], Coord::new(1, 2));
         assert_eq!(corners[1], Coord::new(1, 5));

@@ -75,10 +75,12 @@ impl<T> Grid<T> {
         self.data.len()
     }
 
-    /// Always false: grids are never empty.
+    /// True when the grid holds no cells. The public constructors assert
+    /// non-zero dimensions, so this is false for every grid they build —
+    /// but the answer comes from the data, not from that assumption.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.data.is_empty()
     }
 
     /// True when `c` indexes a cell of this grid.
@@ -89,7 +91,12 @@ impl<T> Grid<T> {
 
     #[inline]
     fn idx(&self, c: Coord) -> usize {
-        debug_assert!(self.in_bounds(c), "{c} out of bounds for {}x{} grid", self.width, self.height);
+        debug_assert!(
+            self.in_bounds(c),
+            "{c} out of bounds for {}x{} grid",
+            self.width,
+            self.height
+        );
         (c.y as usize) * (self.width as usize) + (c.x as usize)
     }
 
@@ -196,6 +203,7 @@ mod tests {
     fn filled_and_fill() {
         let mut g = Grid::filled(3, 2, 7u32);
         assert_eq!(g.len(), 6);
+        assert!(!g.is_empty());
         assert_eq!(g[Coord::new(2, 1)], 7);
         g.fill(0);
         assert_eq!(g.count_where(|&v| v == 0), 6);
@@ -225,7 +233,10 @@ mod tests {
     fn iter_and_queries() {
         let g = Grid::from_fn(3, 3, |c| c.x == c.y);
         let diag: Vec<Coord> = g.coords_where(|&v| v).collect();
-        assert_eq!(diag, vec![Coord::new(0, 0), Coord::new(1, 1), Coord::new(2, 2)]);
+        assert_eq!(
+            diag,
+            vec![Coord::new(0, 0), Coord::new(1, 1), Coord::new(2, 2)]
+        );
         assert_eq!(g.count_where(|&v| v), 3);
         assert_eq!(g.iter().count(), 9);
     }

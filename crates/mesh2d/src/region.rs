@@ -161,7 +161,8 @@ impl Region {
     /// Equivalently, the region's intersection with every row and every
     /// column is a contiguous run.
     pub fn is_orthogonally_convex(&self) -> bool {
-        self.rows().values().all(|xs| is_contiguous(xs)) && self.columns().values().all(|ys| is_contiguous(ys))
+        self.rows().values().all(|xs| is_contiguous(xs))
+            && self.columns().values().all(|ys| is_contiguous(ys))
     }
 
     /// Nodes grouped by row: `y -> sorted x coordinates`.
@@ -328,15 +329,7 @@ mod tests {
 
     #[test]
     fn h_shape_is_not_convex() {
-        let h = coords(&[
-            (0, 0),
-            (0, 1),
-            (0, 2),
-            (2, 0),
-            (2, 1),
-            (2, 2),
-            (1, 1),
-        ]);
+        let h = coords(&[(0, 0), (0, 1), (0, 2), (2, 0), (2, 1), (2, 2), (1, 1)]);
         // columns are fine but rows 0 and 2 have gaps at x = 1
         assert!(!h.is_orthogonally_convex());
     }

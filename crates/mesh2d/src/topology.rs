@@ -131,16 +131,20 @@ impl Mesh2D {
 
     /// The in-network 4-neighborhood (mesh links) of `c`.
     pub fn neighbors4(&self, c: Coord) -> impl Iterator<Item = Coord> + '_ {
-        Direction::ALL.into_iter().filter_map(move |d| self.step(c, d))
+        Direction::ALL
+            .into_iter()
+            .filter_map(move |d| self.step(c, d))
     }
 
     /// The in-network 8-neighborhood of `c` (Definition 2 adjacency), used by
     /// the component merge process.
     pub fn neighbors8(&self, c: Coord) -> impl Iterator<Item = Coord> + '_ {
-        c.neighbors8().into_iter().filter_map(move |n| match self.topology {
-            Topology::Mesh => self.contains(n).then_some(n),
-            Topology::Torus => Some(self.wrap(n)),
-        })
+        c.neighbors8()
+            .into_iter()
+            .filter_map(move |n| match self.topology {
+                Topology::Mesh => self.contains(n).then_some(n),
+                Topology::Torus => Some(self.wrap(n)),
+            })
     }
 
     /// Interior node degree is 4; border nodes of a mesh have fewer links.
@@ -248,11 +252,20 @@ mod tests {
     #[test]
     fn torus_wraparound_step() {
         let t = Mesh2D::torus(4, 4);
-        assert_eq!(t.step(Coord::new(0, 0), Direction::West), Some(Coord::new(3, 0)));
-        assert_eq!(t.step(Coord::new(3, 3), Direction::North), Some(Coord::new(3, 0)));
+        assert_eq!(
+            t.step(Coord::new(0, 0), Direction::West),
+            Some(Coord::new(3, 0))
+        );
+        assert_eq!(
+            t.step(Coord::new(3, 3), Direction::North),
+            Some(Coord::new(3, 0))
+        );
         let m = Mesh2D::mesh(4, 4);
         assert_eq!(m.step(Coord::new(0, 0), Direction::West), None);
-        assert_eq!(m.step(Coord::new(0, 0), Direction::East), Some(Coord::new(1, 0)));
+        assert_eq!(
+            m.step(Coord::new(0, 0), Direction::East),
+            Some(Coord::new(1, 0))
+        );
     }
 
     #[test]

@@ -61,7 +61,8 @@ impl ChannelDependencyGraph {
             Gray,
             Black,
         }
-        let mut color: BTreeMap<&ChannelId, Color> = self.edges.keys().map(|k| (k, Color::White)).collect();
+        let mut color: BTreeMap<&ChannelId, Color> =
+            self.edges.keys().map(|k| (k, Color::White)).collect();
         for start in self.edges.keys() {
             if color[start] != Color::White {
                 continue;

@@ -24,9 +24,15 @@ pub fn ecube_route(src: Coord, dst: Coord) -> Vec<Coord> {
 /// The next e-cube hop from `current` toward `dst`, or `None` on arrival.
 pub fn ecube_next_hop(current: Coord, dst: Coord) -> Option<Coord> {
     if current.x != dst.x {
-        Some(Coord::new(current.x + (dst.x - current.x).signum(), current.y))
+        Some(Coord::new(
+            current.x + (dst.x - current.x).signum(),
+            current.y,
+        ))
     } else if current.y != dst.y {
-        Some(Coord::new(current.x, current.y + (dst.y - current.y).signum()))
+        Some(Coord::new(
+            current.x,
+            current.y + (dst.y - current.y).signum(),
+        ))
     } else {
         None
     }
@@ -63,8 +69,14 @@ mod tests {
         let a = Coord::new(3, 3);
         assert_eq!(ecube_route(a, a), vec![a]);
         assert_eq!(ecube_next_hop(a, a), None);
-        assert_eq!(ecube_next_hop(Coord::new(0, 0), Coord::new(0, 5)), Some(Coord::new(0, 1)));
-        assert_eq!(ecube_next_hop(Coord::new(4, 0), Coord::new(0, 5)), Some(Coord::new(3, 0)));
+        assert_eq!(
+            ecube_next_hop(Coord::new(0, 0), Coord::new(0, 5)),
+            Some(Coord::new(0, 1))
+        );
+        assert_eq!(
+            ecube_next_hop(Coord::new(4, 0), Coord::new(0, 5)),
+            Some(Coord::new(3, 0))
+        );
     }
 
     #[test]

@@ -170,11 +170,7 @@ impl<'a> ExtendedECube<'a> {
             return Ok(path);
         }
         // Fall back: search through all enabled nodes.
-        let all: BTreeSet<Coord> = self
-            .mesh
-            .nodes()
-            .filter(|c| self.enabled(*c))
-            .collect();
+        let all: BTreeSet<Coord> = self.mesh.nodes().filter(|c| self.enabled(*c)).collect();
         self.bfs_path(&all, from, &exit_ok, None)
             .ok_or(RouteError::Unreachable)
     }
@@ -289,7 +285,10 @@ mod tests {
         let status = StatusMap::all_enabled(&mesh);
         let router = ExtendedECube::new(&mesh, &status);
         let path = router.route(Coord::new(1, 1), Coord::new(7, 6)).unwrap();
-        assert_eq!(path.len() as u32, Coord::new(1, 1).manhattan(Coord::new(7, 6)));
+        assert_eq!(
+            path.len() as u32,
+            Coord::new(1, 1).manhattan(Coord::new(7, 6))
+        );
         assert_eq!(path.abnormal_hops, 0);
         assert!((path.stretch() - 1.0).abs() < 1e-12);
     }

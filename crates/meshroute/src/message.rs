@@ -69,10 +69,22 @@ mod tests {
     #[test]
     fn classify_follows_ecube_order() {
         let dst = Coord::new(6, 4);
-        assert_eq!(MessageClass::classify(Coord::new(1, 3), dst), Some(MessageClass::WEBound));
-        assert_eq!(MessageClass::classify(Coord::new(9, 9), dst), Some(MessageClass::EWBound));
-        assert_eq!(MessageClass::classify(Coord::new(6, 3), dst), Some(MessageClass::SNBound));
-        assert_eq!(MessageClass::classify(Coord::new(6, 8), dst), Some(MessageClass::NSBound));
+        assert_eq!(
+            MessageClass::classify(Coord::new(1, 3), dst),
+            Some(MessageClass::WEBound)
+        );
+        assert_eq!(
+            MessageClass::classify(Coord::new(9, 9), dst),
+            Some(MessageClass::EWBound)
+        );
+        assert_eq!(
+            MessageClass::classify(Coord::new(6, 3), dst),
+            Some(MessageClass::SNBound)
+        );
+        assert_eq!(
+            MessageClass::classify(Coord::new(6, 8), dst),
+            Some(MessageClass::NSBound)
+        );
         assert_eq!(MessageClass::classify(dst, dst), None);
     }
 

@@ -3,7 +3,7 @@
 //! fault distribution model and print all three figure series.
 //!
 //! ```text
-//! cargo run --release -p experiments --example clustered_outbreak
+//! cargo run --release --example clustered_outbreak
 //! ```
 
 use experiments::fig10::figure10;
@@ -36,7 +36,8 @@ fn main() {
     // Headline numbers the paper quotes in prose.
     if let (Some(first), Some(last)) = (result.points.first(), result.points.last()) {
         let recovered_fp = 1.0 - last.fp.disabled_nonfaulty / last.fb.disabled_nonfaulty.max(1.0);
-        let recovered_mfp = 1.0 - last.cmfp.disabled_nonfaulty / last.fb.disabled_nonfaulty.max(1.0);
+        let recovered_mfp =
+            1.0 - last.cmfp.disabled_nonfaulty / last.fb.disabled_nonfaulty.max(1.0);
         println!(
             "at {} faults: FP re-enables {:.0}% and MFP re-enables {:.0}% of the healthy nodes the faulty blocks disable",
             last.fault_count,

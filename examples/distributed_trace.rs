@@ -3,14 +3,16 @@
 //! sections, notification plans and round accounting.
 //!
 //! ```text
-//! cargo run --release -p experiments --example distributed_trace
+//! cargo run --release --example distributed_trace
 //! ```
 
 use faultgen::scenario::figure8_component;
 use mesh2d::render::render_regions;
-use mocp_core::distributed::boundary::{is_south_west_inner_corner, is_south_west_outer_corner, ring_walks};
-use mocp_core::distributed::ring::process_walk;
+use mocp_core::distributed::boundary::{
+    is_south_west_inner_corner, is_south_west_outer_corner, ring_walks,
+};
 use mocp_core::distributed::protocol::DistributedMfpModel;
+use mocp_core::distributed::ring::process_walk;
 use mocp_core::merge_components;
 
 fn main() {
@@ -61,7 +63,11 @@ fn main() {
     }
 
     let (outcome, traces) = DistributedMfpModel.construct_detailed(&scenario.mesh, &faults);
-    println!("\nDMFP outcome: {} healthy nodes disabled, {} rounds total", outcome.disabled_nonfaulty(), outcome.rounds.rounds);
+    println!(
+        "\nDMFP outcome: {} healthy nodes disabled, {} rounds total",
+        outcome.disabled_nonfaulty(),
+        outcome.rounds.rounds
+    );
     for trace in &traces {
         println!(
             "  component rounds: {} ({} protocol iterations, {} notifications, faithful: {})",

@@ -5,7 +5,7 @@
 //! a hollow-shell fault pattern.
 //!
 //! ```text
-//! cargo run --release -p experiments --example extension_3d
+//! cargo run --release --example extension_3d
 //! ```
 
 use mocp_core::extension3d::{minimum_polyhedra, Coord3, Region3};
@@ -22,7 +22,11 @@ fn main() {
             }
         }
     }
-    faults.extend([Coord3::new(7, 7, 7), Coord3::new(8, 8, 8), Coord3::new(9, 9, 9)]);
+    faults.extend([
+        Coord3::new(7, 7, 7),
+        Coord3::new(8, 8, 8),
+        Coord3::new(9, 9, 9),
+    ]);
     let region = Region3::from_coords(faults);
 
     println!("3-D fault set: {} faulty nodes", region.len());
@@ -44,6 +48,10 @@ fn main() {
     let shell = &polyhedra[0];
     println!(
         "the hollow shell's centre (1,1,1) is {} by the polyhedron",
-        if shell.contains(Coord3::new(1, 1, 1)) { "restored" } else { "missed" }
+        if shell.contains(Coord3::new(1, 1, 1)) {
+            "restored"
+        } else {
+            "missed"
+        }
     );
 }

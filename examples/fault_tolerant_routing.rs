@@ -2,7 +2,7 @@
 //! scenario, plus a comparison of routing quality over FB vs MFP regions).
 //!
 //! ```text
-//! cargo run --release -p experiments --example fault_tolerant_routing
+//! cargo run --release --example fault_tolerant_routing
 //! ```
 
 use faultgen::scenario::figure2_l_shape;
@@ -21,7 +21,9 @@ fn main() {
 
     let src = Coord::new(1, 3);
     let dst = Coord::new(6, 4);
-    let path = router.route(src, dst).expect("the paper's example is routable");
+    let path = router
+        .route(src, dst)
+        .expect("the paper's example is routable");
     println!("Figure 2: route from {src} to {dst} around the L-shaped faulty polygon");
     println!(
         "  {} hops ({} abnormal), stretch {:.2}",
@@ -31,7 +33,11 @@ fn main() {
     );
     println!(
         "  path: {}",
-        path.hops.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" -> ")
+        path.hops
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     );
 
     // --- Part 2: FB vs MFP routing quality on a larger faulty mesh ------

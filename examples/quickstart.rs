@@ -2,7 +2,7 @@
 //! print the resulting node-status maps side by side.
 //!
 //! ```text
-//! cargo run --release -p experiments --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use faultgen::{generate_faults, FaultDistribution};
@@ -15,7 +15,12 @@ fn main() {
     let mesh = Mesh2D::square(16);
     let faults = generate_faults(mesh, 18, FaultDistribution::Clustered, 42);
 
-    println!("injected {} faults into a {}x{} mesh\n", faults.len(), mesh.width(), mesh.height());
+    println!(
+        "injected {} faults into a {}x{} mesh\n",
+        faults.len(),
+        mesh.width(),
+        mesh.height()
+    );
 
     let analysis = MfpAnalysis::run(&mesh, &faults);
     for outcome in analysis.all() {

@@ -7,7 +7,9 @@ use faultgen::{generate_faults, FaultDistribution};
 use fblock::{FaultModel, FaultyBlockModel, SubMinimumPolygonModel};
 use mesh2d::{Coord, Mesh2D, Region};
 use meshroute::{ExtendedECube, RoutingExperiment};
-use mocp_core::{merge_components, minimum_polygon, CentralizedMfpModel, DistributedMfpModel, MfpAnalysis};
+use mocp_core::{
+    merge_components, minimum_polygon, CentralizedMfpModel, DistributedMfpModel, MfpAnalysis,
+};
 
 #[test]
 fn every_scenario_satisfies_the_model_invariants() {
@@ -15,9 +17,25 @@ fn every_scenario_satisfies_the_model_invariants() {
         let faults = scenario.fault_set();
         let analysis = MfpAnalysis::run(&scenario.mesh, &faults);
         for outcome in analysis.all() {
-            assert!(outcome.covers_all_faults(), "{}: {}", scenario.name, outcome.model);
-            assert!(outcome.all_regions_convex(), "{}: {}", scenario.name, outcome.model);
-            assert_eq!(outcome.faulty_count(), faults.len(), "{}: {}", scenario.name, outcome.model);
+            assert!(
+                outcome.covers_all_faults(),
+                "{}: {}",
+                scenario.name,
+                outcome.model
+            );
+            assert!(
+                outcome.all_regions_convex(),
+                "{}: {}",
+                scenario.name,
+                outcome.model
+            );
+            assert_eq!(
+                outcome.faulty_count(),
+                faults.len(),
+                "{}: {}",
+                scenario.name,
+                outcome.model
+            );
         }
         // the headline ordering of the paper
         assert!(
@@ -31,7 +49,11 @@ fn every_scenario_satisfies_the_model_invariants() {
             scenario.name
         );
         // centralized and distributed constructions agree exactly
-        assert_eq!(analysis.cmfp.status, analysis.dmfp.status, "{}", scenario.name);
+        assert_eq!(
+            analysis.cmfp.status, analysis.dmfp.status,
+            "{}",
+            scenario.name
+        );
     }
 }
 
@@ -72,9 +94,14 @@ fn routing_works_over_minimum_polygons_in_the_figure2_scenario() {
     // the L-shape is already convex: no healthy node is disabled
     assert_eq!(mfp.disabled_nonfaulty(), 0);
     let router = ExtendedECube::new(&scenario.mesh, &mfp.status);
-    let path = router.route(Coord::new(1, 3), Coord::new(6, 4)).expect("routable");
+    let path = router
+        .route(Coord::new(1, 3), Coord::new(6, 4))
+        .expect("routable");
     assert_eq!(*path.hops.last().unwrap(), Coord::new(6, 4));
-    assert!(path.hops.iter().all(|c| !mfp.status.status(*c).is_excluded()));
+    assert!(path
+        .hops
+        .iter()
+        .all(|c| !mfp.status.status(*c).is_excluded()));
 }
 
 #[test]

@@ -7,7 +7,10 @@
 
 use fblock::{FaultModel, FaultyBlockModel, SubMinimumPolygonModel};
 use mesh2d::{Connectivity, Coord, FaultSet, Mesh2D, Region};
-use mocp_core::{is_minimum_covering_polygon, merge_components, minimum_polygon, CentralizedMfpModel, DistributedMfpModel};
+use mocp_core::{
+    is_minimum_covering_polygon, merge_components, minimum_polygon, CentralizedMfpModel,
+    DistributedMfpModel,
+};
 use proptest::prelude::*;
 
 const MESH: u32 = 14;

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the call shape used by this workspace's benches:
+//!
+//! ```ignore
+//! fn bench(c: &mut Criterion) {
+//!     let mut group = c.benchmark_group("my_group");
+//!     group.sample_size(10);
+//!     group.bench_function("case", |b| b.iter(|| work()));
+//!     group.finish();
+//! }
+//! criterion_group!(benches, bench);
+//! criterion_main!(benches);
+//! ```
+//!
+//! Instead of criterion's statistical engine, each benchmark runs one
+//! warm-up iteration followed by `sample_size` timed iterations and
+//! prints the mean wall-clock time per iteration. That is enough to
+//! compare orders of magnitude between ablation arms; it is not a
+//! replacement for real criterion statistics.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` and prints the per-iteration mean.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; its `iter` runs and
+/// times the benchmarked body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` once as warm-up, then `iterations` timed times.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(group: Option<&str>, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iterations: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if bencher.iterations > 0 {
+        let mean = bencher.elapsed / bencher.iterations as u32;
+        println!(
+            "bench {label}: {mean:?}/iter (mean of {} iterations)",
+            bencher.iterations
+        );
+    } else {
+        println!("bench {label}: no iterations recorded");
+    }
+}
+
+/// Opaque value barrier, re-exported for call sites that use
+/// `criterion::black_box` instead of `std::hint::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` entry point for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(4);
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // one warm-up + 4 timed iterations
+        assert_eq!(calls, 5);
+    }
+}

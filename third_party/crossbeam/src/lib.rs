@@ -1,0 +1,63 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` (scoped threads whose
+//! closures receive the scope so they could spawn nested work). Since
+//! Rust 1.63 the standard library provides `std::thread::scope`, so this
+//! shim is a thin adapter that preserves crossbeam's call shape:
+//!
+//! ```
+//! let sums = crossbeam::scope(|scope| {
+//!     let handles: Vec<_> = (0..4u64)
+//!         .map(|i| scope.spawn(move |_| i * i))
+//!         .collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+//! })
+//! .unwrap();
+//! assert_eq!(sums, 14);
+//! ```
+//!
+//! Divergence from the real crate: when a spawned thread panics and its
+//! handle is never joined, `std::thread::scope` propagates the panic
+//! instead of returning `Err`. Every call site in this workspace joins
+//! its handles, so the difference is unobservable here.
+
+pub mod thread;
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let total = super::scope(|scope| {
+            let handles: Vec<_> = (1..=8u64).map(|i| scope.spawn(move |_| i * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 72);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let v = super::scope(|scope| {
+            let outer = scope.spawn(|inner| {
+                let h = inner.spawn(|_| 21u32);
+                h.join().unwrap() * 2
+            });
+            outer.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn borrows_from_the_enclosing_frame() {
+        let data = [1u64, 2, 3, 4];
+        let sum = super::scope(|scope| {
+            let h = scope.spawn(|_| data.iter().sum::<u64>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+}

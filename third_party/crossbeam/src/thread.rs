@@ -1,0 +1,55 @@
+//! Scoped threads with crossbeam's API shape, backed by `std::thread`.
+
+use std::thread::Result as ThreadResult;
+
+/// A scope handle passed to spawned closures, mirroring
+/// `crossbeam_utils::thread::Scope`.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope, like
+    /// crossbeam's, so it can spawn further scoped work.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result (or the
+    /// panic payload as `Err`).
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all threads are joined before this returns. Always `Ok` — kept as a
+/// `Result` to match crossbeam's signature.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

@@ -1,0 +1,29 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::ops::Range;
+
+/// Strategy for `Vec`s whose length is drawn from a half-open range and
+/// whose elements come from `element`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Creates a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range for vec strategy");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.rng.gen_range(self.size.start..self.size.end);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

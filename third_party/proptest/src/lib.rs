@@ -1,0 +1,113 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header and
+//!   `fn name(arg in strategy, ...) { ... }` test bodies;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * strategies: half-open integer ranges, tuples of strategies, and
+//!   `prop::collection::vec(element, size_range)`.
+//!
+//! Cases are generated from a deterministic seed (override with the
+//! `PROPTEST_SEED` environment variable) so failures are reproducible.
+//! Unlike the real crate there is **no shrinking**: a failing case is
+//! reported as-is by the underlying `assert!` panic.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(...)` works as it does
+/// with the real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The subset of `proptest::prelude` this workspace imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions that run their body over many generated
+/// inputs. See the crate docs for the accepted grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_seed_env(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-flavoured name (no early return, no shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `assert_eq!` under a proptest-flavoured name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `assert_ne!` under a proptest-flavoured name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3..9i32, y in 0..5u64) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_of_tuples_respects_sizes(v in prop::collection::vec((0..4i32, 0..4i32), 0..7)) {
+            prop_assert!(v.len() < 7);
+            for (a, b) in v {
+                prop_assert!((0..4).contains(&a));
+                prop_assert!((0..4).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0..100i64) {
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Test configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration; mirrors the `cases` knob of
+/// `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies. Seeded deterministically per test (by
+/// test name), overridable with the `PROPTEST_SEED` environment variable
+/// to reproduce or vary runs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test, mixing in `PROPTEST_SEED` when
+    /// set (any u64; non-numeric values are rejected with a panic so a
+    /// typo does not silently change the run).
+    pub fn from_seed_env(test_name: &str) -> Self {
+        let base: u64 = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => 0x4d4f_4350_2d32_3030, // stable default seed
+        };
+        // FNV-1a over the test name keeps per-test streams independent.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(base ^ h),
+        }
+    }
+}

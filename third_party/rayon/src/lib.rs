@@ -1,0 +1,44 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Only [`join`] is provided — the workspace uses it for coarse two-way
+//! parallelism (e.g. running the random and clustered sweeps of the
+//! paper's figures concurrently). There is no work-stealing pool: the
+//! second closure runs on a freshly spawned scoped thread while the
+//! first runs on the caller's thread, which is the right trade-off for
+//! the long-running, two-armed workloads this workspace has.
+
+/// Runs both closures, potentially in parallel, and returns both results.
+/// A panic in either closure propagates to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 6 * 7, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_runs_concurrently_enough_to_borrow() {
+        let data = [1, 2, 3];
+        let (sum, len) = super::join(|| data.iter().sum::<i32>(), || data.len());
+        assert_eq!((sum, len), (6, 3));
+    }
+}

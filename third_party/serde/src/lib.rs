@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds without registry access, so the real `serde` is
+//! unavailable. The code base only uses `serde` as `#[derive(Serialize,
+//! Deserialize)]` annotations on data types (no serializer is ever
+//! invoked), which this shim supports by
+//!
+//! * blanket-implementing [`Serialize`] and [`Deserialize`] for every
+//!   type, and
+//! * re-exporting derive macros that expand to nothing.
+//!
+//! Swapping in the real `serde` later requires no source change — the
+//! same derives and `use serde::{Deserialize, Serialize}` imports work
+//! unmodified.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; implemented by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; implemented by every type.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
