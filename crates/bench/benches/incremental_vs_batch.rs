@@ -1,0 +1,123 @@
+//! Incremental maintenance versus batch recomputation.
+//!
+//! Both arms consume the *same* pre-generated injection sequence and produce
+//! the same Figure 9/10 checkpoint metrics; they differ only in how:
+//!
+//! * **batch** re-runs the full construction (component merge + per-component
+//!   polygons + status piling) from scratch at every checkpoint — exactly
+//!   what the batch scenario runner does per fault count;
+//! * **incremental** feeds every single fault to the maintenance engine as
+//!   an event (so it does `faults` updates, not `checkpoints` recomputes)
+//!   and reads the metrics off the engine's caches at the checkpoints.
+//!
+//! Two scales: the paper's 100×100 mesh with 800 faults, and a 512×512 mesh
+//! with 20 000 faults that a per-checkpoint batch recompute can no longer
+//! serve interactively.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultgen::{FaultDistribution, FaultInjector};
+use fblock::FaultModel;
+use mesh2d::{Coord, FaultEvent, FaultSet, Mesh2D};
+use mocp_core::CentralizedMfpModel;
+use mocp_incremental::IncrementalEngine;
+
+/// The checkpointed sweep metrics both arms must produce.
+type Checkpoint = (usize, usize, f64);
+
+/// Pre-generates one injection sequence (setup cost, excluded from timing).
+fn sequence(mesh: Mesh2D, faults: usize, seed: u64) -> Vec<Coord> {
+    let mut injector = FaultInjector::new(mesh, FaultDistribution::Clustered, seed);
+    injector.event_stream(faults).map(|e| e.node()).collect()
+}
+
+/// Batch arm: rebuild the fault set incrementally but reconstruct all
+/// polygons from scratch at every checkpoint.
+fn batch_sweep(mesh: &Mesh2D, seq: &[Coord], checkpoints: &[usize]) -> Vec<Checkpoint> {
+    let model = CentralizedMfpModel::concave_sections();
+    let mut faults = FaultSet::new(*mesh);
+    let mut next = seq.iter();
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for &count in checkpoints {
+        while faults.len() < count {
+            match next.next() {
+                Some(&c) => {
+                    faults.insert(c);
+                }
+                None => break,
+            }
+        }
+        let outcome = model.construct(mesh, &faults);
+        out.push((
+            count,
+            outcome.disabled_nonfaulty(),
+            outcome.average_region_size(),
+        ));
+    }
+    out
+}
+
+/// Incremental arm: one engine absorbs every fault as an event; checkpoints
+/// read the cached metrics.
+fn incremental_sweep(mesh: &Mesh2D, seq: &[Coord], checkpoints: &[usize]) -> Vec<Checkpoint> {
+    let mut engine = IncrementalEngine::new(*mesh);
+    let mut next = seq.iter();
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for &count in checkpoints {
+        while engine.faults().len() < count {
+            match next.next() {
+                Some(&c) => {
+                    engine.apply(FaultEvent::Inject(c));
+                }
+                None => break,
+            }
+        }
+        out.push((
+            count,
+            engine.disabled_nonfaulty(),
+            engine.average_region_size(),
+        ));
+    }
+    out
+}
+
+fn bench_scale(
+    c: &mut Criterion,
+    label: &str,
+    mesh_size: u32,
+    faults: usize,
+    checkpoints: usize,
+    samples: usize,
+) {
+    let mesh = Mesh2D::square(mesh_size);
+    let seq = sequence(mesh, faults, 2004);
+    let marks: Vec<usize> = (1..=checkpoints)
+        .map(|i| i * faults / checkpoints)
+        .collect();
+
+    // The two arms must agree before their cost is worth comparing.
+    assert_eq!(
+        batch_sweep(&mesh, &seq, &marks),
+        incremental_sweep(&mesh, &seq, &marks),
+        "batch and incremental sweeps must produce identical checkpoints"
+    );
+
+    let mut group = c.benchmark_group(format!("incremental_vs_batch_{label}"));
+    group.sample_size(samples);
+    group.bench_function("batch", |b| {
+        b.iter(|| std::hint::black_box(batch_sweep(&mesh, &seq, &marks)))
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| std::hint::black_box(incremental_sweep(&mesh, &seq, &marks)))
+    });
+    group.finish();
+}
+
+fn bench_incremental_vs_batch(c: &mut Criterion) {
+    // The paper's scale: Figures 9/10 checkpoints every 100 faults.
+    bench_scale(c, "100x100_800", 100, 800, 8, 10);
+    // Beyond the paper: a scale where batch recomputation stops being viable.
+    bench_scale(c, "512x512_20k", 512, 20_000, 8, 3);
+}
+
+criterion_group!(benches, bench_incremental_vs_batch);
+criterion_main!(benches);

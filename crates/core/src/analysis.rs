@@ -1,9 +1,8 @@
 //! High-level entry points: the CMFP fault model and the cross-model
 //! analysis helper.
 
-use crate::centralized::VirtualBlockSolver;
 use crate::component::{merge_components, FaultyComponent};
-use crate::concave::ConcaveSectionSolver;
+use crate::construction::construct_component;
 use crate::superseding::pile_polygons;
 use distsim::RoundStats;
 use fblock::{FaultModel, FaultyBlockModel, ModelOutcome, SubMinimumPolygonModel};
@@ -49,6 +48,10 @@ impl CentralizedMfpModel {
     /// Solves every component and returns the per-component polygons together
     /// with the network-wide round statistics (components are constructed in
     /// disjoint areas of the mesh, so their rounds compose in parallel).
+    ///
+    /// Each component is solved through the shared per-component entry point
+    /// ([`construct_component`]), the same path the incremental maintenance
+    /// engine uses for its dirty components.
     pub fn solve_components(
         &self,
         mesh: &Mesh2D,
@@ -57,23 +60,9 @@ impl CentralizedMfpModel {
         let mut polygons = Vec::with_capacity(components.len());
         let mut rounds = RoundStats::quiescent();
         for component in components {
-            match self.solution {
-                CentralizedSolution::VirtualBlock => {
-                    let sol = VirtualBlockSolver.solve(mesh, component);
-                    rounds = rounds.in_parallel_with(sol.rounds);
-                    polygons.push(sol.polygon);
-                }
-                CentralizedSolution::ConcaveSections => {
-                    let (polygon, iterations) = ConcaveSectionSolver.solve(component);
-                    let added = (polygon.len() - component.len()) as u64;
-                    rounds = rounds.in_parallel_with(RoundStats {
-                        rounds: iterations,
-                        events: added,
-                        converged: true,
-                    });
-                    polygons.push(polygon);
-                }
-            }
+            let sol = construct_component(mesh, component, self.solution);
+            rounds = rounds.in_parallel_with(sol.rounds);
+            polygons.push(sol.polygon);
         }
         (polygons, rounds)
     }

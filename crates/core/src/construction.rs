@@ -1,0 +1,146 @@
+//! The per-component construction entry point.
+//!
+//! Both centralized solutions — the virtual-block labelling emulation of
+//! [`centralized`](crate::centralized) and the concave-section scan of
+//! [`concave`](crate::concave) — compute the minimum orthogonal convex
+//! polygon of *one* faulty component. Before this module existed that fact
+//! was buried inside [`CentralizedMfpModel`](crate::CentralizedMfpModel),
+//! whose API only accepted a whole mesh's fault set; consumers that already
+//! know the component decomposition (most importantly the incremental
+//! maintenance engine in `mocp_incremental`, which tracks components across
+//! a stream of inject/repair events) had no way to re-solve just one
+//! component.
+//!
+//! [`construct_component`] is that entry point: one component in, its
+//! minimum polygon and round accounting out, with the solution formulation
+//! chosen by [`CentralizedSolution`]. [`polygon_from_cells`] is the
+//! cell-set-shaped convenience wrapper. `CentralizedMfpModel` itself now
+//! routes every component through here, so the batch models, the ablation
+//! benches and the incremental engine all share one construction path.
+
+use crate::analysis::CentralizedSolution;
+use crate::centralized::VirtualBlockSolver;
+use crate::component::FaultyComponent;
+use crate::concave::ConcaveSectionSolver;
+use distsim::RoundStats;
+use mesh2d::{Connectivity, Coord, Mesh2D, Region};
+
+/// The minimum faulty polygon of a single component, with the round
+/// accounting of the construction that produced it.
+#[derive(Clone, Debug)]
+pub struct ComponentPolygon {
+    /// The component's minimum orthogonal convex polygon (its faults plus
+    /// the forced non-faulty nodes), in mesh coordinates.
+    pub polygon: Region,
+    /// Rounds the construction needed: labelling rounds for
+    /// [`CentralizedSolution::VirtualBlock`], scan iterations for
+    /// [`CentralizedSolution::ConcaveSections`].
+    pub rounds: RoundStats,
+}
+
+/// Computes the minimum faulty polygon of one component using the chosen
+/// centralized formulation. Both formulations produce the same polygon (the
+/// component's orthogonal convex hull); they differ only in cost model and
+/// round accounting.
+pub fn construct_component(
+    mesh: &Mesh2D,
+    component: &FaultyComponent,
+    solution: CentralizedSolution,
+) -> ComponentPolygon {
+    match solution {
+        CentralizedSolution::VirtualBlock => {
+            let sol = VirtualBlockSolver.solve(mesh, component);
+            ComponentPolygon {
+                polygon: sol.polygon,
+                rounds: sol.rounds,
+            }
+        }
+        CentralizedSolution::ConcaveSections => {
+            let (polygon, iterations) = ConcaveSectionSolver.solve(component);
+            let added = (polygon.len() - component.len()) as u64;
+            ComponentPolygon {
+                polygon,
+                rounds: RoundStats {
+                    rounds: iterations,
+                    events: added,
+                    converged: true,
+                },
+            }
+        }
+    }
+}
+
+/// [`construct_component`] over a raw cell set: wraps the cells of one
+/// 8-connected faulty component and solves it. Returns `None` for an empty
+/// cell set.
+///
+/// The cells must form a single 8-connected component (the caller is
+/// expected to have decomposed the fault set already); this is
+/// `debug_assert`ed, not checked in release builds, because the incremental
+/// engine calls this on every dirty component of every event.
+pub fn polygon_from_cells(
+    mesh: &Mesh2D,
+    cells: impl IntoIterator<Item = Coord>,
+    solution: CentralizedSolution,
+) -> Option<ComponentPolygon> {
+    let region = Region::from_coords(cells);
+    if region.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        region.is_connected(Connectivity::Eight),
+        "polygon_from_cells expects one 8-connected component"
+    );
+    Some(construct_component(
+        mesh,
+        &FaultyComponent::new(region),
+        solution,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::minimum_polygon;
+
+    fn component(list: &[(i32, i32)]) -> FaultyComponent {
+        FaultyComponent::new(Region::from_coords(
+            list.iter().map(|&(x, y)| Coord::new(x, y)),
+        ))
+    }
+
+    #[test]
+    fn both_solutions_match_the_specification() {
+        let mesh = Mesh2D::square(12);
+        let u = component(&[(2, 2), (3, 2), (4, 2), (2, 3), (4, 3), (2, 4), (4, 4)]);
+        let spec = minimum_polygon(&u);
+        for solution in [
+            CentralizedSolution::VirtualBlock,
+            CentralizedSolution::ConcaveSections,
+        ] {
+            let sol = construct_component(&mesh, &u, solution);
+            assert_eq!(sol.polygon, spec, "{solution:?}");
+            assert!(sol.rounds.converged);
+        }
+    }
+
+    #[test]
+    fn cells_wrapper_agrees_with_component_entry_point() {
+        let mesh = Mesh2D::square(10);
+        let cells = [(1, 1), (2, 2), (3, 1)].map(|(x, y)| Coord::new(x, y));
+        let via_cells =
+            polygon_from_cells(&mesh, cells, CentralizedSolution::ConcaveSections).unwrap();
+        let via_component = construct_component(
+            &mesh,
+            &FaultyComponent::new(Region::from_coords(cells)),
+            CentralizedSolution::ConcaveSections,
+        );
+        assert_eq!(via_cells.polygon, via_component.polygon);
+    }
+
+    #[test]
+    fn empty_cell_set_yields_none() {
+        let mesh = Mesh2D::square(4);
+        assert!(polygon_from_cells(&mesh, [], CentralizedSolution::VirtualBlock).is_none());
+    }
+}

@@ -59,6 +59,7 @@ pub mod analysis;
 pub mod centralized;
 pub mod component;
 pub mod concave;
+pub mod construction;
 pub mod distributed;
 pub mod extension3d;
 pub mod hull;
@@ -69,6 +70,7 @@ pub mod verify;
 pub use analysis::{CentralizedMfpModel, CentralizedSolution, MfpAnalysis};
 pub use component::{merge_components, FaultyComponent};
 pub use concave::{concave_sections, ConcaveSection, Orientation};
+pub use construction::{construct_component, polygon_from_cells, ComponentPolygon};
 pub use distributed::protocol::DistributedMfpModel;
 pub use hull::minimum_polygon;
 pub use registry::{ablation_registry, standard_registry};

@@ -17,13 +17,18 @@
 use experiments::fig10::figure10;
 use experiments::fig11::figure11;
 use experiments::fig9::{figure9, figure9_raw};
-use experiments::{render_table, run_sweep, SweepConfig, SweepResult};
+use experiments::scenario::Scenario;
+use experiments::{render_table, run_scenario_streaming, run_sweep, SweepConfig, SweepResult};
 use faultgen::FaultDistribution;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_figures [--quick] [--trials N] [--csv] [--list-models] \
-         <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>..."
+        "usage: paper_figures [--quick] [--trials N] [--csv] [--streaming] [--list-models] \
+         <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>...\n\
+         --streaming runs the incremental-engine sweep (one pass per injection\n\
+         sequence) and emits its Figure 9/10 MFP series; for equal seeds the\n\
+         numbers match the batch MFP column exactly, so the two outputs can be\n\
+         diffed (fig11 has no streaming formulation and is skipped)."
     );
     std::process::exit(2);
 }
@@ -31,6 +36,7 @@ fn usage() -> ! {
 fn main() {
     let mut quick = false;
     let mut csv = false;
+    let mut streaming = false;
     let mut trials: Option<u32> = None;
     let mut figures: Vec<String> = Vec::new();
 
@@ -39,6 +45,7 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--csv" => csv = true,
+            "--streaming" => streaming = true,
             "--trials" => {
                 let n = args.next().unwrap_or_else(|| usage());
                 trials = Some(n.parse().unwrap_or_else(|_| usage()));
@@ -71,6 +78,45 @@ fn main() {
     let wants = |name: &str| figures.iter().any(|f| f == name || f == "all");
     let need_random = ["fig9a", "fig10a", "fig11a"].iter().any(|f| wants(f));
     let need_clustered = ["fig9b", "fig10b", "fig11b"].iter().any(|f| wants(f));
+
+    if streaming {
+        if wants("fig11a") || wants("fig11b") {
+            eprintln!("note: fig11 (rounds) has no streaming formulation; skipped");
+        }
+        let emit = |series: &experiments::Series| {
+            if csv {
+                print!("{}", experiments::render_csv(series));
+            } else {
+                println!("{}", render_table(series));
+            }
+        };
+        let run = |dist: FaultDistribution| {
+            run_scenario_streaming(&Scenario::paper_figures(&config, dist))
+        };
+        // Only figures 9/10 exist in streaming form; a fig11-only request
+        // must not pay for a sweep whose output would be discarded.
+        let stream_random = wants("fig9a") || wants("fig10a");
+        let stream_clustered = wants("fig9b") || wants("fig10b");
+        // The two distributions are independent sweeps; run them concurrently.
+        let (random, clustered) = rayon::join(
+            || stream_random.then(|| run(FaultDistribution::Random)),
+            || stream_clustered.then(|| run(FaultDistribution::Clustered)),
+        );
+        for (result, fig9_wanted, fig10_wanted) in [
+            (&random, wants("fig9a"), wants("fig10a")),
+            (&clustered, wants("fig9b"), wants("fig10b")),
+        ] {
+            if let Some(r) = result {
+                if fig9_wanted {
+                    emit(&r.fig9_series());
+                }
+                if fig10_wanted {
+                    emit(&r.fig10_series());
+                }
+            }
+        }
+        return;
+    }
 
     // The two distributions are independent sweeps; run them concurrently.
     let (random, clustered) = rayon::join(

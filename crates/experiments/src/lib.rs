@@ -15,11 +15,14 @@
 //! This crate contains the scenario-driven runner ([`scenario`]) that
 //! executes any declarative [`Scenario`] — mesh size, fault distribution
 //! and counts, model names resolved through the model registry, trial
-//! count — with one code path, the compatibility sweep driver
-//! ([`sweep`]) that regenerates all three figures from one pass over the
-//! fault counts, per-figure series extractors ([`fig9`], [`fig10`],
-//! [`fig11`]), plain-text/CSV rendering ([`table`]), and the
-//! `paper_figures` binary that prints any figure from the command line.
+//! count — with one code path, the [`streaming`] execution mode that
+//! produces the Figure 9/10 MFP curves from *one* pass over each
+//! injection sequence via the incremental maintenance engine, the
+//! compatibility sweep driver ([`sweep`]) that regenerates all three
+//! figures from one pass over the fault counts, per-figure series
+//! extractors ([`fig9`], [`fig10`], [`fig11`]), plain-text/CSV rendering
+//! ([`table`]), and the `paper_figures` binary that prints any figure
+//! from the command line.
 //! The Criterion benches in the `bench` crate reuse the same sweep code
 //! so the benchmarked work is exactly the reported work.
 
@@ -30,9 +33,11 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod scenario;
+pub mod streaming;
 pub mod sweep;
 pub mod table;
 
 pub use scenario::{run_scenario, Metric, Scenario, ScenarioPoint, ScenarioResult};
+pub use streaming::{run_scenario_streaming, StreamingPoint, StreamingResult};
 pub use sweep::{run_sweep, ModelPoint, SweepConfig, SweepPoint, SweepResult};
 pub use table::{render_csv, render_table, Series};

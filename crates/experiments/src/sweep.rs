@@ -2,9 +2,8 @@
 //!
 //! Since the scenario refactor this module is the *presentation-shaped*
 //! view of the paper's standard sweep: [`run_sweep`] builds the
-//! four-model [`Scenario`](crate::scenario::Scenario), executes it
-//! through [`run_scenario`](crate::scenario::run_scenario) with the
-//! standard model registry, and reshapes the result into the fixed
+//! four-model [`Scenario`], executes it through [`run_scenario`] with
+//! the standard model registry, and reshapes the result into the fixed
 //! FB/FP/CMFP/DMFP columns of [`SweepPoint`] that the figure extractors
 //! consume.
 

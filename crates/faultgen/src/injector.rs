@@ -1,6 +1,6 @@
 //! Sequential fault injection under the paper's two distribution models.
 
-use mesh2d::{Coord, FaultSet, Grid, Mesh2D};
+use mesh2d::{Coord, FaultEvent, FaultSet, Grid, Mesh2D};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -29,12 +29,59 @@ impl FaultDistribution {
     }
 }
 
+/// One entry of the injector's undo log: everything [`FaultInjector::mark_faulty`]
+/// changed, so [`FaultInjector::undo_last`] can restore the weight
+/// bookkeeping exactly.
+#[derive(Clone, Debug)]
+struct InjectionRecord {
+    /// The node that failed.
+    victim: Coord,
+    /// The weight the victim carried before it was zeroed.
+    prior_weight: u32,
+    /// Neighbors whose weight this injection raised from 1 to 2
+    /// (clustered model only).
+    boosted: Vec<Coord>,
+}
+
+/// A rewind point of a [`FaultInjector`]: the fault sequence injected so
+/// far plus the RNG state, captured by [`FaultInjector::snapshot`].
+///
+/// Restoring a snapshot rewinds the injector to exactly this state, so
+/// injecting again reproduces the same continuation — the property bisection
+/// debugging and repair scenarios rely on.
+#[derive(Clone, Debug)]
+pub struct InjectorSnapshot {
+    /// The faults present when the snapshot was taken, in insertion order —
+    /// both the rewind target and the proof the snapshot belongs to the
+    /// injector's current history.
+    prefix: Vec<Coord>,
+    rng: StdRng,
+}
+
+impl InjectorSnapshot {
+    /// Number of faults present when the snapshot was taken.
+    pub fn len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// True when the snapshot captured a fault-free injector.
+    pub fn is_empty(&self) -> bool {
+        self.prefix.is_empty()
+    }
+}
+
 /// Incremental, seeded fault injector.
 ///
 /// Faults are added one at a time, which matches the paper's "all faults are
 /// sequentially added to the network" and lets a single injector serve a
 /// whole fault-count sweep: the first `k` faults of a sequence are exactly
 /// the faults the model would have produced for a budget of `k`.
+///
+/// Every injection is recorded in an undo log, so a sequence can also be
+/// rewound ([`undo_last`](Self::undo_last)) or rolled back to a
+/// [`snapshot`](Self::snapshot) with the clustered model's weight
+/// bookkeeping restored exactly — the building blocks of repair scenarios
+/// and bisection debugging.
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     mesh: Mesh2D,
@@ -46,6 +93,8 @@ pub struct FaultInjector {
     /// have weight 0 so they are never drawn twice.
     weight: Grid<u32>,
     total_weight: u64,
+    /// One record per injection, in order; popped by `undo_last`.
+    log: Vec<InjectionRecord>,
 }
 
 impl FaultInjector {
@@ -60,6 +109,7 @@ impl FaultInjector {
             faults: FaultSet::new(mesh),
             weight,
             total_weight,
+            log: Vec::new(),
         }
     }
 
@@ -127,10 +177,12 @@ impl FaultInjector {
 
     fn mark_faulty(&mut self, victim: Coord) {
         debug_assert!(!self.faults.is_faulty(victim));
-        self.total_weight -= self.weight[victim] as u64;
+        let prior_weight = self.weight[victim];
+        self.total_weight -= prior_weight as u64;
         self.weight[victim] = 0;
         self.faults.insert(victim);
 
+        let mut boosted = Vec::new();
         if self.distribution == FaultDistribution::Clustered {
             // Double the failure rate of healthy adjacent neighbors that are
             // still at the base rate. The paper keeps exactly two rates, so a
@@ -140,10 +192,101 @@ impl FaultInjector {
                     if *w == 1 {
                         *w = 2;
                         self.total_weight += 1;
+                        boosted.push(n);
                     }
                 }
             }
         }
+        self.log.push(InjectionRecord {
+            victim,
+            prior_weight,
+            boosted,
+        });
+    }
+
+    /// Un-injects the most recent fault, restoring the weight bookkeeping
+    /// (including the clustered model's neighbor boosts) exactly. Returns the
+    /// repair event for the revived node, ready to be fed to a streaming
+    /// consumer, or `None` when no fault remains.
+    ///
+    /// The RNG is **not** rewound — use [`snapshot`](Self::snapshot) /
+    /// [`restore`](Self::restore) when the continuation must replay
+    /// identically.
+    pub fn undo_last(&mut self) -> Option<FaultEvent> {
+        let record = self.log.pop()?;
+        for n in record.boosted {
+            debug_assert_eq!(self.weight[n], 2);
+            self.weight[n] = 1;
+            self.total_weight -= 1;
+        }
+        self.weight[record.victim] = record.prior_weight;
+        self.total_weight += record.prior_weight as u64;
+        self.faults.remove(record.victim);
+        Some(FaultEvent::Repair(record.victim))
+    }
+
+    /// Captures the injector's current state (fault sequence + RNG state) as
+    /// a rewind point for [`restore`](Self::restore).
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        InjectorSnapshot {
+            prefix: self.faults.in_insertion_order().to_vec(),
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Rewinds to `snapshot` by undoing every fault injected since it was
+    /// taken and restoring the RNG, so the continuation replays identically.
+    /// Returns the repair events in undo (most-recent-first) order. Returns
+    /// `None` — and changes nothing — when the snapshot does not belong to
+    /// this injector's current history: taken ahead of the current state, or
+    /// taken before the history diverged (e.g. by `undo_last` followed by
+    /// fresh injections, which draw from an un-rewound RNG).
+    pub fn restore(&mut self, snapshot: &InjectorSnapshot) -> Option<Vec<FaultEvent>> {
+        let order = self.faults.in_insertion_order();
+        if !order.starts_with(&snapshot.prefix) {
+            return None;
+        }
+        let mut repairs = Vec::with_capacity(order.len() - snapshot.prefix.len());
+        while self.faults.len() > snapshot.prefix.len() {
+            repairs.push(self.undo_last().expect("log holds every fault"));
+        }
+        self.rng = snapshot.rng.clone();
+        Some(repairs)
+    }
+
+    /// Streams up to `count` further injections as [`FaultEvent::Inject`]
+    /// events — the adapter that feeds an injector into an event-driven
+    /// consumer (e.g. `mocp_incremental`'s engine). The stream ends early
+    /// when the mesh is exhausted.
+    pub fn event_stream(&mut self, count: usize) -> EventStream<'_> {
+        EventStream {
+            injector: self,
+            remaining: count,
+        }
+    }
+}
+
+/// Iterator returned by [`FaultInjector::event_stream`]: each `next` injects
+/// one fault and yields it as an event.
+#[derive(Debug)]
+pub struct EventStream<'a> {
+    injector: &'a mut FaultInjector,
+    remaining: usize,
+}
+
+impl Iterator for EventStream<'_> {
+    type Item = FaultEvent;
+
+    fn next(&mut self) -> Option<FaultEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.injector.inject_one().map(FaultEvent::Inject)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
     }
 }
 
@@ -231,6 +374,115 @@ mod tests {
             clustered_components < random_components,
             "clustered {clustered_components} should be < random {random_components}"
         );
+    }
+
+    #[test]
+    fn undo_restores_weight_bookkeeping_exactly() {
+        let mesh = Mesh2D::square(12);
+        for dist in FaultDistribution::ALL {
+            let mut inj = FaultInjector::new(mesh, dist, 5);
+            inj.inject_up_to(10);
+            let reference = inj.clone();
+            inj.inject_up_to(17);
+            for _ in 0..7 {
+                assert!(inj.undo_last().is_some());
+            }
+            assert_eq!(
+                inj.faults().in_insertion_order(),
+                reference.faults().in_insertion_order()
+            );
+            assert_eq!(inj.weight, reference.weight, "{dist:?}");
+            assert_eq!(inj.total_weight, reference.total_weight, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn undo_yields_repair_events_in_reverse_order() {
+        let mesh = Mesh2D::square(8);
+        let mut inj = FaultInjector::new(mesh, FaultDistribution::Clustered, 3);
+        let injected: Vec<_> = inj.event_stream(4).collect();
+        assert_eq!(injected.len(), 4);
+        let mut repairs = Vec::new();
+        while let Some(e) = inj.undo_last() {
+            repairs.push(e);
+        }
+        let expected: Vec<_> = injected.iter().rev().map(|e| e.inverse()).collect();
+        assert_eq!(repairs, expected);
+        assert!(inj.is_empty());
+        assert!(inj.undo_last().is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_replays_the_same_continuation() {
+        let mesh = Mesh2D::square(14);
+        let mut inj = FaultInjector::new(mesh, FaultDistribution::Clustered, 11);
+        inj.inject_up_to(6);
+        let snap = inj.snapshot();
+        assert_eq!(snap.len(), 6);
+        assert!(!snap.is_empty());
+
+        inj.inject_up_to(20);
+        let first_run: Vec<_> = inj.faults().in_insertion_order()[6..].to_vec();
+        let repairs = inj.restore(&snap).expect("snapshot is behind the head");
+        assert_eq!(repairs.len(), 14);
+        assert_eq!(inj.len(), 6);
+
+        inj.inject_up_to(20);
+        let second_run: Vec<_> = inj.faults().in_insertion_order()[6..].to_vec();
+        assert_eq!(first_run, second_run, "restored RNG replays identically");
+    }
+
+    #[test]
+    fn restore_rejects_snapshots_from_the_future() {
+        let mesh = Mesh2D::square(6);
+        let mut inj = FaultInjector::new(mesh, FaultDistribution::Random, 1);
+        inj.inject_up_to(5);
+        let snap = inj.snapshot();
+        inj.restore(&snap).expect("no-op restore succeeds");
+        while inj.undo_last().is_some() {}
+        assert!(
+            inj.restore(&snap).is_none(),
+            "snapshot is ahead of the head"
+        );
+        assert!(inj.is_empty(), "failed restore changes nothing");
+    }
+
+    #[test]
+    fn restore_rejects_diverged_histories() {
+        let mesh = Mesh2D::square(10);
+        let mut inj = FaultInjector::new(mesh, FaultDistribution::Clustered, 4);
+        inj.inject_up_to(5);
+        let snap = inj.snapshot();
+        // Rewind below the snapshot, then take a different path: the fresh
+        // injections draw from the un-rewound RNG, so the history diverges.
+        for _ in 0..3 {
+            inj.undo_last();
+        }
+        inj.inject_up_to(5);
+        if inj.faults().in_insertion_order() != &snap.prefix[..] {
+            assert!(
+                inj.restore(&snap).is_none(),
+                "a snapshot from another history must be rejected"
+            );
+            assert_eq!(inj.len(), 5, "failed restore changes nothing");
+        }
+    }
+
+    #[test]
+    fn event_stream_matches_inject_up_to() {
+        let mesh = Mesh2D::square(10);
+        let mut a = FaultInjector::new(mesh, FaultDistribution::Clustered, 9);
+        let mut b = FaultInjector::new(mesh, FaultDistribution::Clustered, 9);
+        let events: Vec<_> = a.event_stream(12).collect();
+        b.inject_up_to(12);
+        let expected: Vec<_> = b
+            .faults()
+            .in_insertion_order()
+            .iter()
+            .map(|&c| FaultEvent::Inject(c))
+            .collect();
+        assert_eq!(events, expected);
+        assert_eq!(a.event_stream(0).next(), None);
     }
 
     #[test]

@@ -23,4 +23,6 @@
 pub mod injector;
 pub mod scenario;
 
-pub use injector::{generate_faults, FaultDistribution, FaultInjector};
+pub use injector::{
+    generate_faults, EventStream, FaultDistribution, FaultInjector, InjectorSnapshot,
+};

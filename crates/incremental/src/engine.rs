@@ -1,0 +1,702 @@
+//! The event-driven maintenance engine.
+
+use mesh2d::{
+    Connectivity, Coord, FaultEvent, FaultSet, Grid, Mesh2D, NodeStatus, Rect, Region, StatusDelta,
+    StatusMap,
+};
+use mocp_core::construction::polygon_from_cells;
+use mocp_core::CentralizedSolution;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Sentinel component id for healthy nodes.
+const NO_COMPONENT: u32 = u32::MAX;
+
+/// One live faulty component with its cached construction results.
+#[derive(Clone, Debug)]
+struct Component {
+    /// The component's faulty nodes.
+    cells: Region,
+    /// The virtual faulty block (bounding box) the merge process maintains.
+    bbox: Rect,
+    /// Cached minimum orthogonal convex polygon of `cells`.
+    polygon: Region,
+}
+
+/// Counters describing how much work the engine actually did — the evidence
+/// that maintenance is incremental rather than a hidden batch recompute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Events consumed (including out-of-mesh / duplicate no-ops).
+    pub events: u64,
+    /// Injections that changed the fault set.
+    pub injects: u64,
+    /// Repairs that changed the fault set.
+    pub repairs: u64,
+    /// Components absorbed into a neighbor by a merging injection.
+    pub merges: u64,
+    /// Repairs that split a component into several pieces.
+    pub splits: u64,
+    /// Per-component polygon constructions actually executed.
+    pub recomputes: u64,
+    /// Injections absorbed by a cached polygon without any recomputation.
+    pub cache_hits: u64,
+}
+
+/// An incremental minimum-faulty-polygon maintenance engine.
+///
+/// See the [crate docs](crate) for the merge / dirty strategy. All public
+/// accessors are O(1) or proportional to the answer, never to the mesh.
+#[derive(Clone, Debug)]
+pub struct IncrementalEngine {
+    mesh: Mesh2D,
+    solution: CentralizedSolution,
+    faults: FaultSet,
+    /// Component id per node; `NO_COMPONENT` for healthy nodes.
+    comp_id: Grid<u32>,
+    /// Component slab; freed slots are recycled through `free`.
+    components: Vec<Option<Component>>,
+    free: Vec<u32>,
+    /// Number of live polygons covering each node.
+    cover: Grid<u32>,
+    /// Maintained status of every node.
+    status: StatusMap,
+    /// Non-faulty disabled (gray) nodes — the Figure 9 metric.
+    disabled: usize,
+    /// Sum of live polygon sizes — numerator of the Figure 10 metric.
+    polygon_total: usize,
+    /// Live component count — denominator of the Figure 10 metric.
+    live: usize,
+    stats: EngineStats,
+}
+
+impl IncrementalEngine {
+    /// An engine over a fault-free mesh, using the concave-section
+    /// construction (centralized solution 2) for dirty components.
+    pub fn new(mesh: Mesh2D) -> Self {
+        Self::with_solution(mesh, CentralizedSolution::ConcaveSections)
+    }
+
+    /// An engine using the given centralized formulation for dirty
+    /// components. Both formulations produce identical polygons; they only
+    /// differ in construction cost.
+    pub fn with_solution(mesh: Mesh2D, solution: CentralizedSolution) -> Self {
+        IncrementalEngine {
+            mesh,
+            solution,
+            faults: FaultSet::new(mesh),
+            comp_id: Grid::for_mesh(&mesh, NO_COMPONENT),
+            components: Vec::new(),
+            free: Vec::new(),
+            cover: Grid::for_mesh(&mesh, 0u32),
+            status: StatusMap::all_enabled(&mesh),
+            disabled: 0,
+            polygon_total: 0,
+            live: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// An engine pre-loaded with an existing fault set (one inject event per
+    /// fault, in insertion order).
+    pub fn from_faults(mesh: Mesh2D, faults: &FaultSet) -> Self {
+        let mut engine = Self::new(mesh);
+        for &c in faults.in_insertion_order() {
+            engine.apply(FaultEvent::Inject(c));
+        }
+        engine
+    }
+
+    /// The mesh being monitored.
+    pub fn mesh(&self) -> &Mesh2D {
+        &self.mesh
+    }
+
+    /// The surviving faults.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The maintained per-node status map.
+    pub fn status(&self) -> &StatusMap {
+        &self.status
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of live faulty components.
+    pub fn component_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of non-faulty nodes currently disabled (Figure 9 metric).
+    pub fn disabled_nonfaulty(&self) -> usize {
+        self.disabled
+    }
+
+    /// Average polygon size in nodes, faults included (Figure 10 metric).
+    /// Zero when no fault is present.
+    pub fn average_region_size(&self) -> f64 {
+        if self.live == 0 {
+            0.0
+        } else {
+            self.polygon_total as f64 / self.live as f64
+        }
+    }
+
+    /// The cached minimum polygons, ordered by their component's smallest
+    /// cell — the same deterministic order the batch construction
+    /// ([`mocp_core::merge_components`]) produces.
+    pub fn polygons(&self) -> Vec<Region> {
+        let mut with_key: Vec<(Coord, &Region)> = self
+            .components
+            .iter()
+            .flatten()
+            .map(|comp| {
+                let key = comp
+                    .cells
+                    .iter()
+                    .next()
+                    .expect("components are never empty");
+                (key, &comp.polygon)
+            })
+            .collect();
+        with_key.sort_by_key(|&(key, _)| key);
+        with_key.into_iter().map(|(_, p)| p.clone()).collect()
+    }
+
+    /// The maintained virtual faulty blocks (per-component bounding boxes),
+    /// in the same order as [`polygons`](Self::polygons) — the rectangular
+    /// FB view of the fault population, available without any construction.
+    pub fn virtual_blocks(&self) -> Vec<Rect> {
+        let mut with_key: Vec<(Coord, Rect)> = self
+            .components
+            .iter()
+            .flatten()
+            .map(|comp| {
+                let key = comp
+                    .cells
+                    .iter()
+                    .next()
+                    .expect("components are never empty");
+                (key, comp.bbox)
+            })
+            .collect();
+        with_key.sort_by_key(|&(key, _)| key);
+        with_key.into_iter().map(|(_, b)| b).collect()
+    }
+
+    /// Applies one event and returns the nodes whose status changed.
+    /// Injecting an already-faulty (or out-of-mesh) node and repairing a
+    /// healthy node are no-ops that return an empty delta.
+    pub fn apply(&mut self, event: FaultEvent) -> StatusDelta {
+        self.stats.events += 1;
+        match event {
+            FaultEvent::Inject(c) => self.inject(c),
+            FaultEvent::Repair(c) => self.repair(c),
+        }
+    }
+
+    /// Applies a whole event stream, concatenating the per-event deltas.
+    pub fn apply_all(&mut self, events: impl IntoIterator<Item = FaultEvent>) -> StatusDelta {
+        let mut delta = StatusDelta::new();
+        for event in events {
+            delta.extend(self.apply(event));
+        }
+        delta
+    }
+
+    fn inject(&mut self, c: Coord) -> StatusDelta {
+        let mut delta = StatusDelta::new();
+        if !self.mesh.contains(c) || self.faults.is_faulty(c) {
+            return delta;
+        }
+        self.stats.injects += 1;
+        self.faults.insert(c);
+
+        // Distinct components adjacent to the new fault. Adjacency is the
+        // geometric 8-neighborhood of Definition 2 (components never join
+        // across a torus wrap, matching the batch merge process).
+        let mut adjacent: Vec<u32> = Vec::new();
+        for n in c.neighbors8() {
+            if let Some(&id) = self.comp_id.get(n) {
+                if id != NO_COMPONENT && !adjacent.contains(&id) {
+                    adjacent.push(id);
+                }
+            }
+        }
+
+        let mut touched = BTreeSet::new();
+        touched.insert(c);
+
+        if let [only] = adjacent[..] {
+            let comp = self.components[only as usize]
+                .as_mut()
+                .expect("adjacent ids are live");
+            // The bounding box is the O(1) pre-filter: a fault outside the
+            // virtual block cannot be inside the polygon.
+            if comp.bbox.contains(c) && comp.polygon.contains(c) {
+                // Pure cache hit: the hull is a closure operator, so a fault
+                // inside the cached polygon cannot change it.
+                comp.cells.insert(c);
+                self.comp_id.set(c, only);
+                self.stats.cache_hits += 1;
+                self.refresh(c, &mut delta);
+                return delta;
+            }
+        }
+
+        let keep = if adjacent.is_empty() {
+            let id = self.alloc(Component {
+                cells: Region::from_coords([c]),
+                bbox: Rect::single(c),
+                polygon: Region::new(),
+            });
+            self.live += 1;
+            id
+        } else {
+            // Merge small-into-large: the component with the most cells
+            // survives, every other adjacent component is relabelled into it.
+            let keep = *adjacent
+                .iter()
+                .max_by_key(|&&id| self.cells_len(id))
+                .expect("adjacent is non-empty");
+            for &other in adjacent.iter().filter(|&&id| id != keep) {
+                self.stats.merges += 1;
+                let absorbed = self.components[other as usize]
+                    .take()
+                    .expect("adjacent ids are live");
+                self.free.push(other);
+                self.live -= 1;
+                self.retire_polygon(&absorbed.polygon, &mut touched);
+                // Only the absorbed (smaller) component's cells are
+                // relabelled — the small-into-large bound.
+                for cell in absorbed.cells.iter() {
+                    self.comp_id.set(cell, keep);
+                }
+                let comp = self.components[keep as usize]
+                    .as_mut()
+                    .expect("keep is live");
+                for cell in absorbed.cells.iter() {
+                    comp.cells.insert(cell);
+                }
+                comp.bbox = comp
+                    .bbox
+                    .expanded_to(absorbed.bbox.min())
+                    .expanded_to(absorbed.bbox.max());
+            }
+            // Retire the surviving component's own stale polygon.
+            let old = self.components[keep as usize]
+                .as_ref()
+                .expect("keep is live")
+                .polygon
+                .clone();
+            self.retire_polygon(&old, &mut touched);
+            let comp = self.components[keep as usize]
+                .as_mut()
+                .expect("keep is live");
+            comp.cells.insert(c);
+            comp.bbox = comp.bbox.expanded_to(c);
+            keep
+        };
+        self.comp_id.set(c, keep);
+
+        self.recompute(keep, &mut touched);
+        for &t in &touched {
+            self.refresh(t, &mut delta);
+        }
+        delta
+    }
+
+    fn repair(&mut self, c: Coord) -> StatusDelta {
+        let mut delta = StatusDelta::new();
+        if !self.faults.is_faulty(c) {
+            return delta;
+        }
+        self.stats.repairs += 1;
+        self.faults.remove(c);
+
+        let id = *self.comp_id.get(c).expect("faults lie inside the mesh");
+        debug_assert_ne!(id, NO_COMPONENT);
+        self.comp_id.set(c, NO_COMPONENT);
+
+        let mut comp = self.components[id as usize]
+            .take()
+            .expect("faulty nodes map to live components");
+        comp.cells.remove(c);
+
+        let mut touched = BTreeSet::new();
+        touched.insert(c);
+        self.retire_polygon(&comp.polygon, &mut touched);
+
+        if comp.cells.is_empty() {
+            self.free.push(id);
+            self.live -= 1;
+        } else {
+            // Localized re-flood: only this component's surviving cells are
+            // visited. The largest piece keeps the id (and so most labels).
+            let mut pieces = comp.cells.components(Connectivity::Eight);
+            if pieces.len() > 1 {
+                self.stats.splits += 1;
+            }
+            let largest = pieces
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| p.len())
+                .map(|(i, _)| i)
+                .expect("a non-empty region has pieces");
+            // Process the largest piece first so it reclaims `id`.
+            pieces.swap(0, largest);
+            for (i, cells) in pieces.into_iter().enumerate() {
+                let bbox = cells.bounding_rect().expect("pieces are non-empty");
+                let piece = Component {
+                    cells,
+                    bbox,
+                    polygon: Region::new(),
+                };
+                let piece_id = if i == 0 {
+                    // The largest piece reclaims the old id; its cells are
+                    // already labelled with it.
+                    self.components[id as usize] = Some(piece);
+                    id
+                } else {
+                    let pid = self.alloc(piece);
+                    self.live += 1;
+                    for cell in self.components[pid as usize]
+                        .as_ref()
+                        .expect("just inserted")
+                        .cells
+                        .clone()
+                        .iter()
+                    {
+                        self.comp_id.set(cell, pid);
+                    }
+                    pid
+                };
+                self.recompute(piece_id, &mut touched);
+            }
+        }
+
+        for &t in &touched {
+            self.refresh(t, &mut delta);
+        }
+        delta
+    }
+
+    /// Re-runs the per-component construction for one dirty component and
+    /// installs the new polygon's coverage.
+    fn recompute(&mut self, id: u32, touched: &mut BTreeSet<Coord>) {
+        self.stats.recomputes += 1;
+        let cells = self.components[id as usize]
+            .as_ref()
+            .expect("dirty ids are live")
+            .cells
+            .clone();
+        let sol = polygon_from_cells(&self.mesh, cells.iter(), self.solution)
+            .expect("components are never empty");
+        for n in sol.polygon.iter() {
+            let w = self
+                .cover
+                .get_mut(n)
+                .expect("polygons stay inside the mesh");
+            *w += 1;
+            if *w == 1 {
+                touched.insert(n);
+            }
+        }
+        self.polygon_total += sol.polygon.len();
+        self.components[id as usize]
+            .as_mut()
+            .expect("dirty ids are live")
+            .polygon = sol.polygon;
+    }
+
+    /// Removes one polygon's contribution to the cover counts.
+    fn retire_polygon(&mut self, polygon: &Region, touched: &mut BTreeSet<Coord>) {
+        for n in polygon.iter() {
+            let w = self
+                .cover
+                .get_mut(n)
+                .expect("polygons stay inside the mesh");
+            debug_assert!(*w > 0);
+            *w -= 1;
+            if *w == 0 {
+                touched.insert(n);
+            }
+        }
+        self.polygon_total -= polygon.len();
+    }
+
+    /// Recomputes the derived status of one node, recording any change.
+    fn refresh(&mut self, c: Coord, delta: &mut StatusDelta) {
+        let old = self.status.status(c);
+        let new = if self.faults.is_faulty(c) {
+            NodeStatus::Faulty
+        } else if self.cover.get(c).copied().unwrap_or(0) > 0 {
+            NodeStatus::Disabled
+        } else {
+            NodeStatus::Enabled
+        };
+        if old != new {
+            if old == NodeStatus::Disabled {
+                self.disabled -= 1;
+            }
+            if new == NodeStatus::Disabled {
+                self.disabled += 1;
+            }
+            self.status.set(c, new);
+            delta.record(c, old, new);
+        }
+    }
+
+    fn cells_len(&self, id: u32) -> usize {
+        self.components[id as usize]
+            .as_ref()
+            .map_or(0, |c| c.cells.len())
+    }
+
+    fn alloc(&mut self, component: Component) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.components[id as usize] = Some(component);
+            id
+        } else {
+            self.components.push(Some(component));
+            (self.components.len() - 1) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fblock::FaultModel;
+    use mocp_core::CentralizedMfpModel;
+
+    fn batch(mesh: &Mesh2D, faults: &FaultSet) -> fblock::ModelOutcome {
+        CentralizedMfpModel::concave_sections().construct(mesh, faults)
+    }
+
+    /// Engine state must equal a from-scratch batch construction.
+    fn assert_matches_batch(engine: &IncrementalEngine) {
+        let outcome = batch(engine.mesh(), engine.faults());
+        assert_eq!(engine.status(), &outcome.status);
+        assert_eq!(engine.polygons(), outcome.regions);
+        assert_eq!(engine.disabled_nonfaulty(), outcome.disabled_nonfaulty());
+        let avg = outcome.average_region_size();
+        assert!((engine.average_region_size() - avg).abs() < 1e-12);
+        // The maintained bounding boxes equal the batch merge process's
+        // virtual faulty blocks, in the same component order.
+        let blocks: Vec<Rect> = mocp_core::merge_components(engine.faults())
+            .iter()
+            .map(|c| c.virtual_block())
+            .collect();
+        assert_eq!(engine.virtual_blocks(), blocks);
+    }
+
+    #[test]
+    fn empty_engine_matches_empty_batch() {
+        let engine = IncrementalEngine::new(Mesh2D::square(6));
+        assert_matches_batch(&engine);
+        assert_eq!(engine.component_count(), 0);
+        assert_eq!(engine.average_region_size(), 0.0);
+    }
+
+    #[test]
+    fn singleton_and_duplicate_injection() {
+        let mesh = Mesh2D::square(6);
+        let mut engine = IncrementalEngine::new(mesh);
+        let delta = engine.apply(FaultEvent::Inject(Coord::new(2, 2)));
+        assert_eq!(delta.len(), 1);
+        assert_eq!(
+            delta.newly_excluded().collect::<Vec<_>>(),
+            vec![Coord::new(2, 2)]
+        );
+        let delta = engine.apply(FaultEvent::Inject(Coord::new(2, 2)));
+        assert!(delta.is_empty(), "duplicate injection is a no-op");
+        let delta = engine.apply(FaultEvent::Inject(Coord::new(9, 9)));
+        assert!(delta.is_empty(), "out-of-mesh injection is a no-op");
+        assert_matches_batch(&engine);
+    }
+
+    #[test]
+    fn growing_merging_and_notch_filling() {
+        let mesh = Mesh2D::square(10);
+        let mut engine = IncrementalEngine::new(mesh);
+        // Two arms of a U, still separate components.
+        for (x, y) in [(2, 2), (2, 3), (2, 4), (4, 2), (4, 3), (4, 4)] {
+            engine.apply(FaultEvent::Inject(Coord::new(x, y)));
+            assert_matches_batch(&engine);
+        }
+        assert_eq!(engine.component_count(), 2);
+        // The bridge merges them and forces the notch nodes.
+        let delta = engine.apply(FaultEvent::Inject(Coord::new(3, 2)));
+        assert_eq!(engine.component_count(), 1);
+        assert!(engine.stats().merges >= 1);
+        assert_eq!(engine.disabled_nonfaulty(), 2);
+        assert!(delta.newly_excluded().any(|c| c == Coord::new(3, 3)));
+        assert_matches_batch(&engine);
+    }
+
+    #[test]
+    fn injection_inside_cached_polygon_is_a_cache_hit() {
+        let mesh = Mesh2D::square(10);
+        let mut engine = IncrementalEngine::new(mesh);
+        for (x, y) in [
+            (2, 2),
+            (3, 2),
+            (4, 2),
+            (2, 3),
+            (4, 3),
+            (2, 4),
+            (4, 4),
+            (3, 4),
+        ] {
+            engine.apply(FaultEvent::Inject(Coord::new(x, y)));
+        }
+        // (3,3) is the filled notch: inside the polygon, adjacent to the ring.
+        let recomputes = engine.stats().recomputes;
+        let hits = engine.stats().cache_hits;
+        let delta = engine.apply(FaultEvent::Inject(Coord::new(3, 3)));
+        assert_eq!(engine.stats().recomputes, recomputes, "no recompute");
+        assert_eq!(engine.stats().cache_hits, hits + 1);
+        // The node flips gray -> black; nothing else changes.
+        assert_eq!(delta.changes().len(), 1);
+        assert_matches_batch(&engine);
+    }
+
+    #[test]
+    fn repair_shrinks_splits_and_frees_components() {
+        let mesh = Mesh2D::square(10);
+        let mut engine = IncrementalEngine::new(mesh);
+        // A horizontal bar; repairing the middle splits it.
+        for x in 2..=6 {
+            engine.apply(FaultEvent::Inject(Coord::new(x, 5)));
+        }
+        assert_eq!(engine.component_count(), 1);
+        let delta = engine.apply(FaultEvent::Repair(Coord::new(4, 5)));
+        assert_eq!(engine.component_count(), 2);
+        assert_eq!(engine.stats().splits, 1);
+        assert!(delta.newly_enabled().any(|c| c == Coord::new(4, 5)));
+        assert_matches_batch(&engine);
+        // Repairing everything frees all components.
+        for x in [2, 3, 5, 6] {
+            engine.apply(FaultEvent::Repair(Coord::new(x, 5)));
+            assert_matches_batch(&engine);
+        }
+        assert_eq!(engine.component_count(), 0);
+        assert_eq!(engine.disabled_nonfaulty(), 0);
+        let delta = engine.apply(FaultEvent::Repair(Coord::new(2, 5)));
+        assert!(delta.is_empty(), "repairing a healthy node is a no-op");
+    }
+
+    #[test]
+    fn overlapping_polygons_need_cover_counting() {
+        let mesh = Mesh2D::square(12);
+        let mut engine = IncrementalEngine::new(mesh);
+        // A wide U whose hull swallows (4,4); then a separate fault there.
+        for (x, y) in [
+            (2, 2),
+            (3, 2),
+            (4, 2),
+            (5, 2),
+            (6, 2),
+            (2, 3),
+            (6, 3),
+            (2, 4),
+            (6, 4),
+        ] {
+            engine.apply(FaultEvent::Inject(Coord::new(x, y)));
+        }
+        let c = Coord::new(4, 4);
+        assert_eq!(engine.status().status(c), NodeStatus::Disabled);
+        engine.apply(FaultEvent::Inject(c));
+        assert_eq!(
+            engine.component_count(),
+            2,
+            "inner fault is its own component"
+        );
+        assert_matches_batch(&engine);
+        // Repair the inner fault: still covered by the U's polygon.
+        engine.apply(FaultEvent::Repair(c));
+        assert_eq!(engine.status().status(c), NodeStatus::Disabled);
+        assert_matches_batch(&engine);
+    }
+
+    #[test]
+    fn from_faults_replays_a_fault_set() {
+        let mesh = Mesh2D::square(12);
+        let faults = FaultSet::from_coords(
+            mesh,
+            [(1, 1), (2, 2), (3, 1), (8, 8), (9, 9)].map(|(x, y)| Coord::new(x, y)),
+        );
+        let engine = IncrementalEngine::from_faults(mesh, &faults);
+        assert_eq!(engine.faults().len(), 5);
+        assert_matches_batch(&engine);
+    }
+
+    #[test]
+    fn deltas_replay_into_the_same_status_map() {
+        let mesh = Mesh2D::square(10);
+        let mut engine = IncrementalEngine::new(mesh);
+        let mut replayed = StatusMap::all_enabled(&mesh);
+        let events = [
+            FaultEvent::Inject(Coord::new(2, 2)),
+            FaultEvent::Inject(Coord::new(4, 4)),
+            FaultEvent::Inject(Coord::new(3, 3)),
+            FaultEvent::Inject(Coord::new(2, 4)),
+            FaultEvent::Repair(Coord::new(3, 3)),
+            FaultEvent::Repair(Coord::new(2, 2)),
+        ];
+        for e in events {
+            engine.apply(e).apply_to(&mut replayed);
+            assert_eq!(&replayed, engine.status(), "after {e:?}");
+        }
+    }
+
+    #[test]
+    fn apply_all_concatenates_deltas() {
+        let mesh = Mesh2D::square(8);
+        let mut engine = IncrementalEngine::new(mesh);
+        let delta = engine.apply_all([
+            FaultEvent::Inject(Coord::new(1, 1)),
+            FaultEvent::Inject(Coord::new(2, 2)),
+            FaultEvent::Repair(Coord::new(1, 1)),
+        ]);
+        assert_eq!(delta.changes().len(), 3);
+        let mut replayed = StatusMap::all_enabled(&mesh);
+        delta.apply_to(&mut replayed);
+        assert_eq!(&replayed, engine.status());
+    }
+
+    #[test]
+    fn both_solutions_maintain_identical_state() {
+        let mesh = Mesh2D::square(10);
+        let mut concave = IncrementalEngine::new(mesh);
+        let mut virtual_block =
+            IncrementalEngine::with_solution(mesh, CentralizedSolution::VirtualBlock);
+        for (x, y) in [(2, 2), (3, 3), (4, 2), (2, 4), (7, 7), (8, 8), (3, 2)] {
+            let e = FaultEvent::Inject(Coord::new(x, y));
+            concave.apply(e);
+            virtual_block.apply(e);
+        }
+        assert_eq!(concave.status(), virtual_block.status());
+        assert_eq!(concave.polygons(), virtual_block.polygons());
+    }
+
+    #[test]
+    fn stats_count_event_kinds() {
+        let mesh = Mesh2D::square(8);
+        let mut engine = IncrementalEngine::new(mesh);
+        engine.apply(FaultEvent::Inject(Coord::new(1, 1)));
+        engine.apply(FaultEvent::Inject(Coord::new(1, 1))); // duplicate
+        engine.apply(FaultEvent::Repair(Coord::new(1, 1)));
+        engine.apply(FaultEvent::Repair(Coord::new(1, 1))); // healthy
+        let s = engine.stats();
+        assert_eq!(s.events, 4);
+        assert_eq!(s.injects, 1);
+        assert_eq!(s.repairs, 1);
+    }
+}

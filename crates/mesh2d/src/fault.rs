@@ -3,10 +3,44 @@
 //! A [`FaultSet`] keeps both a dense membership grid (for O(1) queries inside
 //! the labelling fixpoints) and the insertion order (the paper's simulation
 //! adds faults sequentially, and the clustered fault model depends on that
-//! order).
+//! order). [`FaultEvent`] is the vocabulary of *changes* to a fault set —
+//! the unit consumed by streaming fault-monitoring engines.
 
 use crate::{Coord, Grid, Mesh2D, Region};
 use serde::{Deserialize, Serialize};
+
+/// One change to the fault population of a mesh.
+///
+/// The paper's evaluation only ever adds faults ("all faults are
+/// sequentially added to the network"); streaming consumers also understand
+/// the reverse transition, which models node recovery (repair) and lets an
+/// injection sequence be rewound for bisection debugging.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Node `.0` fails.
+    Inject(Coord),
+    /// Node `.0` recovers.
+    Repair(Coord),
+}
+
+impl FaultEvent {
+    /// The node the event concerns.
+    #[inline]
+    pub fn node(self) -> Coord {
+        match self {
+            FaultEvent::Inject(c) | FaultEvent::Repair(c) => c,
+        }
+    }
+
+    /// The event undoing this one (inject ⟷ repair of the same node).
+    #[inline]
+    pub fn inverse(self) -> FaultEvent {
+        match self {
+            FaultEvent::Inject(c) => FaultEvent::Repair(c),
+            FaultEvent::Repair(c) => FaultEvent::Inject(c),
+        }
+    }
+}
 
 /// The set of faulty nodes of a particular mesh.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -50,6 +84,36 @@ impl FaultSet {
         self.faulty[c] = true;
         self.order.push(c);
         true
+    }
+
+    /// Clears the fault at `c`, modelling node recovery. Returns `true` when
+    /// the node was faulty. O(1) when `c` is the most recently inserted fault
+    /// (the common case when rewinding a sequence), O(n) otherwise.
+    pub fn remove(&mut self, c: Coord) -> bool {
+        if !self.is_faulty(c) {
+            return false;
+        }
+        self.faulty[c] = false;
+        if self.order.last() == Some(&c) {
+            self.order.pop();
+        } else {
+            let pos = self
+                .order
+                .iter()
+                .rposition(|&o| o == c)
+                .expect("membership grid and insertion order agree");
+            self.order.remove(pos);
+        }
+        true
+    }
+
+    /// Applies one event: inserts for [`FaultEvent::Inject`], removes for
+    /// [`FaultEvent::Repair`]. Returns `true` when the set changed.
+    pub fn apply(&mut self, event: FaultEvent) -> bool {
+        match event {
+            FaultEvent::Inject(c) => self.insert(c),
+            FaultEvent::Repair(c) => self.remove(c),
+        }
     }
 
     /// True when node `c` is faulty. Out-of-mesh coordinates are healthy.
@@ -109,6 +173,42 @@ mod tests {
         let fs = FaultSet::from_coords(mesh, coords);
         assert_eq!(fs.in_insertion_order(), &coords);
         assert_eq!(fs.region().len(), 3);
+    }
+
+    #[test]
+    fn remove_clears_grid_and_order() {
+        let mesh = Mesh2D::square(5);
+        let mut fs = FaultSet::from_coords(mesh, [Coord::new(1, 1), Coord::new(2, 2)]);
+        assert!(fs.remove(Coord::new(2, 2)), "last fault is O(1) to remove");
+        assert!(!fs.is_faulty(Coord::new(2, 2)));
+        assert_eq!(fs.in_insertion_order(), &[Coord::new(1, 1)]);
+        assert!(!fs.remove(Coord::new(2, 2)), "double remove rejected");
+        assert!(fs.insert(Coord::new(2, 2)), "removed nodes can fail again");
+    }
+
+    #[test]
+    fn remove_from_middle_preserves_order() {
+        let mesh = Mesh2D::square(5);
+        let coords = [Coord::new(0, 0), Coord::new(1, 1), Coord::new(2, 2)];
+        let mut fs = FaultSet::from_coords(mesh, coords);
+        assert!(fs.remove(Coord::new(1, 1)));
+        assert_eq!(
+            fs.in_insertion_order(),
+            &[Coord::new(0, 0), Coord::new(2, 2)]
+        );
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let mesh = Mesh2D::square(5);
+        let mut fs = FaultSet::new(mesh);
+        let inject = FaultEvent::Inject(Coord::new(3, 3));
+        assert_eq!(inject.node(), Coord::new(3, 3));
+        assert!(fs.apply(inject));
+        assert!(fs.is_faulty(Coord::new(3, 3)));
+        assert!(fs.apply(inject.inverse()));
+        assert!(fs.is_empty());
+        assert_eq!(inject.inverse().inverse(), inject);
     }
 
     #[test]

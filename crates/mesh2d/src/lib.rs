@@ -45,9 +45,9 @@ pub mod topology;
 
 pub use coord::Coord;
 pub use direction::{Direction, Turn};
-pub use fault::FaultSet;
+pub use fault::{FaultEvent, FaultSet};
 pub use grid::Grid;
 pub use rect::Rect;
 pub use region::{Connectivity, Region};
-pub use status::{Activation, Health, NodeStatus, Safety, StatusMap};
+pub use status::{Activation, Health, NodeStatus, Safety, StatusDelta, StatusMap};
 pub use topology::{Mesh2D, Topology};

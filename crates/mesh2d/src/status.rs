@@ -204,6 +204,79 @@ impl StatusMap {
     }
 }
 
+/// A batch of per-node status transitions, as produced by one step of an
+/// incremental (streaming) fault-model maintenance engine.
+///
+/// Downstream consumers — routing tables, sweep statistics, renderers — can
+/// apply a delta instead of rescanning the whole mesh: each entry records the
+/// node, the status it had before the step and the status it has after.
+/// Entries with `old == new` are never recorded.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusDelta {
+    changes: Vec<(Coord, NodeStatus, NodeStatus)>,
+}
+
+impl StatusDelta {
+    /// An empty delta (no node changed).
+    pub fn new() -> Self {
+        StatusDelta::default()
+    }
+
+    /// Records one transition. A no-op when `old == new`.
+    pub fn record(&mut self, node: Coord, old: NodeStatus, new: NodeStatus) {
+        if old != new {
+            self.changes.push((node, old, new));
+        }
+    }
+
+    /// The recorded transitions `(node, old, new)`, in recording order.
+    pub fn changes(&self) -> &[(Coord, NodeStatus, NodeStatus)] {
+        &self.changes
+    }
+
+    /// Number of nodes whose status changed.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True when no node changed status.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Nodes that left the routing fabric in this step (enabled before,
+    /// faulty or disabled after).
+    pub fn newly_excluded(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.changes
+            .iter()
+            .filter(|(_, old, new)| !old.is_excluded() && new.is_excluded())
+            .map(|&(c, _, _)| c)
+    }
+
+    /// Nodes that rejoined the routing fabric in this step (faulty or
+    /// disabled before, enabled after).
+    pub fn newly_enabled(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.changes
+            .iter()
+            .filter(|(_, old, new)| old.is_excluded() && !new.is_excluded())
+            .map(|&(c, _, _)| c)
+    }
+
+    /// Appends the transitions of `later` to this delta. Transitions are not
+    /// coalesced: a node changed by both deltas appears twice, in order, so
+    /// replaying the concatenation still reproduces the final state.
+    pub fn extend(&mut self, later: StatusDelta) {
+        self.changes.extend(later.changes);
+    }
+
+    /// Writes the new statuses into `map` (last write wins per node).
+    pub fn apply_to(&self, map: &mut StatusMap) {
+        for &(c, _, new) in &self.changes {
+            map.set(c, new);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +350,47 @@ mod tests {
         let m = StatusMap::all_enabled(&mesh);
         assert_eq!(m.get(Coord::new(3, 0)), None);
         assert_eq!(m.get(Coord::new(2, 2)), Some(NodeStatus::Enabled));
+    }
+
+    #[test]
+    fn delta_records_classifies_and_applies() {
+        let mesh = Mesh2D::square(4);
+        let mut delta = StatusDelta::new();
+        delta.record(Coord::new(0, 0), NodeStatus::Enabled, NodeStatus::Faulty);
+        delta.record(Coord::new(1, 0), NodeStatus::Enabled, NodeStatus::Disabled);
+        delta.record(Coord::new(2, 0), NodeStatus::Disabled, NodeStatus::Enabled);
+        delta.record(Coord::new(3, 0), NodeStatus::Faulty, NodeStatus::Disabled);
+        delta.record(Coord::new(3, 3), NodeStatus::Enabled, NodeStatus::Enabled);
+        assert_eq!(delta.len(), 4, "old == new is not recorded");
+
+        let excluded: Vec<_> = delta.newly_excluded().collect();
+        assert_eq!(excluded, vec![Coord::new(0, 0), Coord::new(1, 0)]);
+        let enabled: Vec<_> = delta.newly_enabled().collect();
+        assert_eq!(enabled, vec![Coord::new(2, 0)]);
+
+        let mut map = StatusMap::all_enabled(&mesh);
+        map.set(Coord::new(2, 0), NodeStatus::Disabled);
+        map.set(Coord::new(3, 0), NodeStatus::Faulty);
+        delta.apply_to(&mut map);
+        assert_eq!(map.status(Coord::new(0, 0)), NodeStatus::Faulty);
+        assert_eq!(map.status(Coord::new(1, 0)), NodeStatus::Disabled);
+        assert_eq!(map.status(Coord::new(2, 0)), NodeStatus::Enabled);
+        assert_eq!(map.status(Coord::new(3, 0)), NodeStatus::Disabled);
+    }
+
+    #[test]
+    fn delta_extend_replays_in_order() {
+        let mesh = Mesh2D::square(3);
+        let mut first = StatusDelta::new();
+        first.record(Coord::new(1, 1), NodeStatus::Enabled, NodeStatus::Disabled);
+        let mut second = StatusDelta::new();
+        second.record(Coord::new(1, 1), NodeStatus::Disabled, NodeStatus::Faulty);
+        first.extend(second);
+        assert_eq!(first.len(), 2);
+        let mut map = StatusMap::all_enabled(&mesh);
+        first.apply_to(&mut map);
+        assert_eq!(map.status(Coord::new(1, 1)), NodeStatus::Faulty);
+        assert!(!first.is_empty());
     }
 
     #[test]

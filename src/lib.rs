@@ -27,3 +27,4 @@ pub use fblock;
 pub use mesh2d;
 pub use meshroute;
 pub use mocp_core;
+pub use mocp_incremental;

@@ -1,0 +1,68 @@
+//! The streaming scenario mode must reproduce the batch runner's Figure 9
+//! and Figure 10 numbers **exactly** for the same seeds — not approximately:
+//! the same injection sequences produce the same polygons, and the same
+//! trial-averaging order produces bit-identical floating-point results.
+
+use mocp::experiments::scenario::{run_scenario, Scenario};
+use mocp::experiments::streaming::run_scenario_streaming;
+use mocp::experiments::{Metric, SweepConfig};
+use mocp::faultgen::FaultDistribution;
+
+fn scenario(dist: FaultDistribution) -> Scenario {
+    let config = SweepConfig {
+        mesh_size: 40,
+        fault_counts: vec![20, 60, 120, 200],
+        trials: 3,
+        base_seed: 2004,
+    };
+    Scenario::paper_figures(&config, dist)
+}
+
+#[test]
+fn streaming_reproduces_batch_figure9_and_figure10_exactly() {
+    let registry = mocp::mocp_core::standard_registry();
+    for dist in FaultDistribution::ALL {
+        let s = scenario(dist);
+        let streaming = run_scenario_streaming(&s);
+        let batch = run_scenario(&registry, &s).expect("paper models are registered");
+
+        // Column-level equality against both MFP formulations of the batch
+        // runner (CMFP and DMFP agree with each other by construction).
+        for model in ["CMFP", "DMFP"] {
+            let curve = batch.model_curve(model).expect("model was run");
+            assert_eq!(streaming.points.len(), curve.len());
+            for (sp, bp) in streaming.points.iter().zip(&curve) {
+                assert_eq!(
+                    sp.disabled_nonfaulty, bp.disabled_nonfaulty,
+                    "Figure 9 ({dist:?}, {model}, {} faults)",
+                    sp.fault_count
+                );
+                assert_eq!(
+                    sp.avg_region_size, bp.avg_region_size,
+                    "Figure 10 ({dist:?}, {model}, {} faults)",
+                    sp.fault_count
+                );
+            }
+        }
+
+        // Series-level equality: the streaming MFP curve is the batch MFP
+        // curve, row for row.
+        let fig9 = streaming.fig9_series().curve("MFP").unwrap();
+        let batch_fig9: Vec<f64> = batch
+            .series(Metric::DisabledNonfaulty)
+            .curve("CMFP")
+            .unwrap();
+        assert_eq!(fig9, batch_fig9, "{dist:?}");
+        let fig10 = streaming.fig10_series().curve("MFP").unwrap();
+        let batch_fig10: Vec<f64> = batch.series(Metric::AvgRegionSize).curve("CMFP").unwrap();
+        assert_eq!(fig10, batch_fig10, "{dist:?}");
+    }
+}
+
+#[test]
+fn streaming_fault_counts_follow_the_scenario() {
+    let s = scenario(FaultDistribution::Random);
+    let result = run_scenario_streaming(&s);
+    let counts: Vec<usize> = result.points.iter().map(|p| p.fault_count).collect();
+    assert_eq!(counts, s.fault_counts);
+}
