@@ -1,0 +1,85 @@
+//! Dense 3-D polyhedron construction versus the specification prototype.
+//!
+//! Both arms compute the minimum orthogonal convex polyhedra of the *same*
+//! clustered fault sets; they differ only in representation:
+//!
+//! * **prototype** — `mocp_core::extension3d`, per-node `BTreeSet` probes
+//!   and full axis-run recomputation (the specification oracle);
+//! * **dense** — `mocp_3d`, flat-bitmap floods and the dirty-line hull
+//!   that only rescans lines another axis changed.
+//!
+//! Two clustered workloads: a 20³ mesh at ~7% faults and a 32³ mesh at the
+//! sweep's top fault count, where the prototype's log-factor probes hurt
+//! most.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultgen::FaultDistribution;
+use mocp_3d::{generate_faults_3d, Coord3, Mesh3D};
+use mocp_core::extension3d;
+
+/// Pre-generates one clustered fault list (setup cost, excluded from
+/// timing).
+fn clustered_faults(side: u32, count: usize, seed: u64) -> Vec<Coord3> {
+    generate_faults_3d(
+        Mesh3D::cube(side),
+        count,
+        FaultDistribution::Clustered,
+        seed,
+    )
+    .in_insertion_order()
+    .to_vec()
+}
+
+fn dense_polyhedra(faults: &[Coord3]) -> Vec<Vec<Coord3>> {
+    mocp_3d::minimum_polyhedra(&mocp_3d::Region3::from_coords(faults.iter().copied()))
+        .iter()
+        .map(|p| p.iter().collect())
+        .collect()
+}
+
+fn prototype_polyhedra(faults: &[Coord3]) -> Vec<Vec<Coord3>> {
+    extension3d::minimum_polyhedra(&extension3d::Region3::from_coords(faults.iter().copied()))
+        .iter()
+        .map(|p| p.iter().collect())
+        .collect()
+}
+
+/// Normalizes polyhedra to sorted coordinate lists for the agreement check.
+fn normalize(mut polys: Vec<Vec<Coord3>>) -> Vec<Vec<Coord3>> {
+    for p in &mut polys {
+        p.sort_unstable();
+    }
+    polys.sort_unstable();
+    polys
+}
+
+fn bench_scale(c: &mut Criterion, label: &str, side: u32, count: usize) {
+    let faults = clustered_faults(side, count, 2004);
+
+    // The two arms must agree before their cost is worth comparing.
+    assert_eq!(
+        normalize(dense_polyhedra(&faults)),
+        normalize(prototype_polyhedra(&faults)),
+        "dense and prototype constructions must produce identical polyhedra"
+    );
+
+    let mut group = c.benchmark_group(format!("hull3d_{label}"));
+    group.sample_size(10);
+    group.bench_function("prototype", |b| {
+        b.iter(|| std::hint::black_box(prototype_polyhedra(&faults)))
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| std::hint::black_box(dense_polyhedra(&faults)))
+    });
+    group.finish();
+}
+
+fn bench_hull3d(c: &mut Criterion) {
+    // The ISSUE's acceptance workload: a clustered 20³ mesh.
+    bench_scale(c, "20x20x20_600", 20, 600);
+    // The sweep's full scale: 32³ at the top fault count.
+    bench_scale(c, "32x32x32_800", 32, 800);
+}
+
+criterion_group!(benches, bench_hull3d);
+criterion_main!(benches);

@@ -124,25 +124,43 @@ impl Region3 {
 
     /// The minimum orthogonal convex polyhedron containing the region:
     /// iterated gap filling along all three axes.
+    ///
+    /// Scanning an axis fills every gap on every line parallel to it, so
+    /// the axis stays gap-free until a fill along a *different* axis inserts
+    /// nodes. The per-axis dirty flags exploit that: an axis whose last scan
+    /// found no gaps is skipped until another axis changes the region,
+    /// instead of recomputing its full `axis_runs` on every fixpoint
+    /// iteration. Each filled node is forced (it lies between two region
+    /// nodes on an axis line, so every orthogonally convex superset must
+    /// contain it), hence any fair scan order converges to the same unique
+    /// minimum — the result is identical to the naive all-axes loop.
     pub fn orthogonal_convex_hull(&self) -> Region3 {
         let mut hull = self.clone();
-        loop {
-            let mut added = Vec::new();
-            for axis in [Axis::X, Axis::Y, Axis::Z] {
-                for (key, vals) in axis_runs(&hull, axis) {
+        let axes = [Axis::X, Axis::Y, Axis::Z];
+        let mut dirty = [true; 3];
+        while dirty.iter().any(|&d| d) {
+            for i in 0..3 {
+                if !dirty[i] {
+                    continue;
+                }
+                dirty[i] = false;
+                let mut added = Vec::new();
+                for (key, vals) in axis_runs(&hull, axes[i]) {
                     for w in vals.windows(2) {
                         for v in (w[0] + 1)..w[1] {
-                            added.push(axis.rebuild(key, v));
+                            added.push(axes[i].rebuild(key, v));
                         }
                     }
                 }
-            }
-            let before = hull.len();
-            for c in added {
-                hull.insert(c);
-            }
-            if hull.len() == before {
-                break;
+                let mut inserted = false;
+                for c in added {
+                    inserted |= hull.insert(c);
+                }
+                if inserted {
+                    for (j, flag) in dirty.iter_mut().enumerate() {
+                        *flag = j != i;
+                    }
+                }
             }
         }
         hull

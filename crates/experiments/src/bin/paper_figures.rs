@@ -18,17 +18,23 @@ use experiments::fig10::figure10;
 use experiments::fig11::figure11;
 use experiments::fig9::{figure9, figure9_raw};
 use experiments::scenario::Scenario;
-use experiments::{render_table, run_scenario_streaming, run_sweep, SweepConfig, SweepResult};
+use experiments::three_d::Scenario3;
+use experiments::{
+    render_table, run_scenario_3d, run_scenario_streaming, run_sweep, SweepConfig, SweepResult,
+};
 use faultgen::FaultDistribution;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_figures [--quick] [--trials N] [--csv] [--streaming] [--list-models] \
-         <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>...\n\
+        "usage: paper_figures [--quick] [--trials N] [--csv] [--streaming] [--three-d] \
+         [--list-models] <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>...\n\
          --streaming runs the incremental-engine sweep (one pass per injection\n\
          sequence) and emits its Figure 9/10 MFP series; for equal seeds the\n\
          numbers match the batch MFP column exactly, so the two outputs can be\n\
-         diffed (fig11 has no streaming formulation and is skipped)."
+         diffed (fig11 has no streaming formulation and is skipped).\n\
+         --three-d runs the 3-D extension sweep instead (FB-3D vs MFP-3D on a\n\
+         32x32x32 mesh under both distributions) and emits the Figure 9/10\n\
+         analogues; figure names are ignored in this mode."
     );
     std::process::exit(2);
 }
@@ -37,6 +43,7 @@ fn main() {
     let mut quick = false;
     let mut csv = false;
     let mut streaming = false;
+    let mut three_d = false;
     let mut trials: Option<u32> = None;
     let mut figures: Vec<String> = Vec::new();
 
@@ -46,6 +53,7 @@ fn main() {
             "--quick" => quick = true,
             "--csv" => csv = true,
             "--streaming" => streaming = true,
+            "--three-d" => three_d = true,
             "--trials" => {
                 let n = args.next().unwrap_or_else(|| usage());
                 trials = Some(n.parse().unwrap_or_else(|_| usage()));
@@ -53,6 +61,10 @@ fn main() {
             "--list-models" => {
                 println!("registered fault models (mocp_core::standard_registry):");
                 for (name, description) in mocp_core::standard_registry().descriptions() {
+                    println!("  {name:<6} {description}");
+                }
+                println!("registered 3-D fault models (mocp_3d::standard_registry_3d):");
+                for (name, description) in mocp_3d::standard_registry_3d().descriptions() {
                     println!("  {name:<6} {description}");
                 }
                 return;
@@ -73,6 +85,37 @@ fn main() {
     };
     if let Some(t) = trials {
         config.trials = t;
+    }
+
+    if three_d {
+        let scenario = |dist: FaultDistribution| {
+            let mut s = if quick {
+                Scenario3::quick(dist)
+            } else {
+                Scenario3::paper_figures(dist)
+            };
+            if let Some(t) = trials {
+                s.trials = t;
+            }
+            s
+        };
+        let registry = mocp_3d::standard_registry_3d();
+        // The two distributions are independent sweeps; run them concurrently.
+        let (random, clustered) = rayon::join(
+            || run_scenario_3d(&registry, &scenario(FaultDistribution::Random)),
+            || run_scenario_3d(&registry, &scenario(FaultDistribution::Clustered)),
+        );
+        for result in [random, clustered] {
+            let r = result.expect("the 3-D paper models are registered");
+            for series in [r.fig9_series(), r.fig10_series()] {
+                if csv {
+                    print!("{}", experiments::render_csv(&series));
+                } else {
+                    println!("{}", render_table(&series));
+                }
+            }
+        }
+        return;
     }
 
     let wants = |name: &str| figures.iter().any(|f| f == name || f == "all");

@@ -20,7 +20,9 @@
 //! injection sequence via the incremental maintenance engine, the
 //! compatibility sweep driver ([`sweep`]) that regenerates all three
 //! figures from one pass over the fault counts, per-figure series
-//! extractors ([`fig9`], [`fig10`], [`fig11`]), plain-text/CSV rendering
+//! extractors ([`fig9`], [`fig10`], [`fig11`]), the [`three_d`] sweep
+//! producing the Figure 9/10 analogues for the 3-D extension (FB-3D vs
+//! MFP-3D, `paper_figures --three-d`), plain-text/CSV rendering
 //! ([`table`]), and the `paper_figures` binary that prints any figure
 //! from the command line.
 //! The Criterion benches in the `bench` crate reuse the same sweep code
@@ -36,8 +38,10 @@ pub mod scenario;
 pub mod streaming;
 pub mod sweep;
 pub mod table;
+pub mod three_d;
 
 pub use scenario::{run_scenario, Metric, Scenario, ScenarioPoint, ScenarioResult};
 pub use streaming::{run_scenario_streaming, StreamingPoint, StreamingResult};
 pub use sweep::{run_sweep, ModelPoint, SweepConfig, SweepPoint, SweepResult};
 pub use table::{render_csv, render_table, Series};
+pub use three_d::{run_scenario_3d, Scenario3, Scenario3Point, Scenario3Result};

@@ -173,6 +173,22 @@ impl ScenarioResult {
     }
 }
 
+/// Spawns one scoped thread per trial and joins the results in trial
+/// order — the skeleton shared by the batch, streaming and 3-D sweep
+/// runners, so their deterministic trial-order averaging cannot drift
+/// apart.
+pub(crate) fn run_trials<T: Send>(trials: u32, run: impl Fn(u32) -> T + Sync) -> Vec<T> {
+    let run = &run;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..trials).map(|t| scope.spawn(move |_| run(t))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial panicked"))
+            .collect()
+    })
+    .expect("trial scope panicked")
+}
+
 /// Runs every model of `scenario` (resolved through `registry`) over its
 /// fault counts, averaging `trials` independent seeded fault sequences.
 /// Trials run on separate threads; the result is deterministic for a
@@ -189,16 +205,8 @@ pub fn run_scenario(
     }
 
     let trials = scenario.trials.max(1);
-    let trial_results: Vec<Vec<ScenarioPoint>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..trials)
-            .map(|t| scope.spawn(move |_| run_trial(registry, scenario, t)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("trial panicked"))
-            .collect()
-    })
-    .expect("scenario scope panicked");
+    let trial_results: Vec<Vec<ScenarioPoint>> =
+        run_trials(trials, |t| run_trial(registry, scenario, t));
 
     let mut points: Vec<ScenarioPoint> = scenario
         .fault_counts

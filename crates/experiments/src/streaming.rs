@@ -98,16 +98,8 @@ impl StreamingResult {
 /// the batch CMFP columns for the same seeds.
 pub fn run_scenario_streaming(scenario: &Scenario) -> StreamingResult {
     let trials = scenario.trials.max(1);
-    let trial_results: Vec<Vec<StreamingPoint>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..trials)
-            .map(|t| scope.spawn(move |_| run_streaming_trial(scenario, t)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("streaming trial panicked"))
-            .collect()
-    })
-    .expect("streaming scope panicked");
+    let trial_results: Vec<Vec<StreamingPoint>> =
+        crate::scenario::run_trials(trials, |t| run_streaming_trial(scenario, t));
 
     let mut points: Vec<StreamingPoint> = scenario
         .fault_counts

@@ -1,0 +1,273 @@
+//! The 3-D scenario sweep: Figure 9/10 analogues for FB-3D vs MFP-3D.
+//!
+//! The paper's conclusion proposes extending the construction to 3-D
+//! meshes; the `mocp_3d` crate implements that extension and this module
+//! evaluates it the way Section 4 evaluates the 2-D models: faults are
+//! injected sequentially into a 32×32×32 mesh under the random and
+//! clustered distribution models, and at each fault count every model
+//! (resolved by name through the 3-D registry) reports the number of
+//! disabled non-faulty nodes (Figure 9 analogue) and the average region
+//! size (Figure 10 analogue). `paper_figures --three-d` emits both series
+//! for both distributions.
+
+use crate::table::Series;
+use faultgen::FaultDistribution;
+use fblock::UnknownModel;
+use mocp_3d::{BoxedModel3, FaultInjector3, Mesh3D, ModelRegistry3};
+use serde::{Deserialize, Serialize};
+
+/// A declarative description of one 3-D sweep experiment — the 3-D
+/// counterpart of [`Scenario`](crate::scenario::Scenario).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario3 {
+    /// Human-readable name, used in reported series titles.
+    pub name: String,
+    /// Mesh side length (the 3-D sweep defaults to 32, i.e. 32³ nodes).
+    pub mesh_size: u32,
+    /// Fault distribution model driving the injector.
+    pub distribution: FaultDistribution,
+    /// Fault counts to evaluate, in ascending order.
+    pub fault_counts: Vec<usize>,
+    /// Names of the 3-D fault models to run, resolved through the registry
+    /// passed to [`run_scenario_3d`].
+    pub models: Vec<String>,
+    /// Number of independent trials averaged per point.
+    pub trials: u32,
+    /// Base RNG seed; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+}
+
+/// The two 3-D models, in presentation order.
+pub fn paper_model_names_3d() -> Vec<String> {
+    ["FB3D", "MFP3D"].map(String::from).to_vec()
+}
+
+impl Scenario3 {
+    /// The default 3-D sweep: a 32×32×32 mesh with 100..800 faults (the
+    /// same absolute counts as the paper's 2-D sweep), FB-3D vs MFP-3D,
+    /// 3 trials.
+    pub fn paper_figures(distribution: FaultDistribution) -> Self {
+        Scenario3 {
+            name: format!("3d-figures-{}", distribution.label()),
+            mesh_size: 32,
+            distribution,
+            fault_counts: (1..=8).map(|i| i * 100).collect(),
+            models: paper_model_names_3d(),
+            trials: 3,
+            base_seed: 2004,
+        }
+    }
+
+    /// A small configuration for smoke tests and CI: a 12³ mesh with up to
+    /// 80 faults.
+    pub fn quick(distribution: FaultDistribution) -> Self {
+        Scenario3 {
+            name: format!("3d-quick-{}", distribution.label()),
+            mesh_size: 12,
+            fault_counts: vec![20, 40, 60, 80],
+            trials: 2,
+            ..Scenario3::paper_figures(distribution)
+        }
+    }
+}
+
+/// One x-axis point: per-model `(disabled non-faulty, average region size)`
+/// averages, parallel to the scenario's model list.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario3Point {
+    /// Number of faults injected.
+    pub fault_count: usize,
+    /// Averaged disabled non-faulty node counts, one per model.
+    pub disabled_nonfaulty: Vec<f64>,
+    /// Averaged region sizes, one per model.
+    pub avg_region_size: Vec<f64>,
+}
+
+/// The averaged outcome of running a 3-D scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario3Result {
+    /// The scenario that was run.
+    pub scenario: Scenario3,
+    /// One entry per fault count, in the scenario's order.
+    pub points: Vec<Scenario3Point>,
+}
+
+impl Scenario3Result {
+    /// The Figure 9 analogue: disabled non-faulty nodes per model.
+    pub fn fig9_series(&self) -> Series {
+        let mut series = Series::new(
+            format!(
+                "{}: disabled non-faulty nodes (fig9-3d)",
+                self.scenario.name
+            ),
+            "faults".to_string(),
+            self.scenario.models.clone(),
+        );
+        for p in &self.points {
+            series.push_row(p.fault_count, p.disabled_nonfaulty.clone());
+        }
+        series
+    }
+
+    /// The Figure 10 analogue: average region size per model.
+    pub fn fig10_series(&self) -> Series {
+        let mut series = Series::new(
+            format!("{}: avg region size (fig10-3d)", self.scenario.name),
+            "faults".to_string(),
+            self.scenario.models.clone(),
+        );
+        for p in &self.points {
+            series.push_row(p.fault_count, p.avg_region_size.clone());
+        }
+        series
+    }
+}
+
+/// Runs every model of `scenario` (resolved through `registry`) over its
+/// fault counts, averaging `trials` independent seeded fault sequences —
+/// the same trial-parallel loop as the 2-D
+/// [`run_scenario`](crate::scenario::run_scenario), instantiated for the
+/// 3-D registry.
+///
+/// Fails fast with [`UnknownModel`] if any model name does not resolve.
+pub fn run_scenario_3d(
+    registry: &ModelRegistry3,
+    scenario: &Scenario3,
+) -> Result<Scenario3Result, UnknownModel> {
+    for name in &scenario.models {
+        registry.build(name)?;
+    }
+
+    let trials = scenario.trials.max(1);
+    let trial_results: Vec<Vec<Scenario3Point>> =
+        crate::scenario::run_trials(trials, |t| run_trial(registry, scenario, t));
+
+    let models = scenario.models.len();
+    let mut points: Vec<Scenario3Point> = scenario
+        .fault_counts
+        .iter()
+        .map(|&fault_count| Scenario3Point {
+            fault_count,
+            disabled_nonfaulty: vec![0.0; models],
+            avg_region_size: vec![0.0; models],
+        })
+        .collect();
+    for trial in &trial_results {
+        for (acc, p) in points.iter_mut().zip(trial) {
+            for m in 0..models {
+                acc.disabled_nonfaulty[m] += p.disabled_nonfaulty[m];
+                acc.avg_region_size[m] += p.avg_region_size[m];
+            }
+        }
+    }
+    let factor = 1.0 / trials as f64;
+    for p in &mut points {
+        for m in 0..models {
+            p.disabled_nonfaulty[m] *= factor;
+            p.avg_region_size[m] *= factor;
+        }
+    }
+
+    Ok(Scenario3Result {
+        scenario: scenario.clone(),
+        points,
+    })
+}
+
+/// One seeded pass over the fault counts: inject incrementally, run every
+/// model at each count.
+fn run_trial(registry: &ModelRegistry3, scenario: &Scenario3, trial: u32) -> Vec<Scenario3Point> {
+    let mesh = Mesh3D::cube(scenario.mesh_size);
+    let models: Vec<BoxedModel3> = scenario
+        .models
+        .iter()
+        .map(|name| {
+            registry
+                .build(name)
+                .expect("names validated by run_scenario_3d")
+        })
+        .collect();
+    let mut injector = FaultInjector3::new(
+        mesh,
+        scenario.distribution,
+        scenario.base_seed + trial as u64,
+    );
+    let mut points = Vec::with_capacity(scenario.fault_counts.len());
+    for &count in &scenario.fault_counts {
+        injector.inject_up_to(count);
+        let faults = injector.faults();
+        let outcomes: Vec<_> = models
+            .iter()
+            .map(|model| model.construct(&mesh, faults))
+            .collect();
+        points.push(Scenario3Point {
+            fault_count: count,
+            disabled_nonfaulty: outcomes
+                .iter()
+                .map(|o| o.disabled_nonfaulty() as f64)
+                .collect(),
+            avg_region_size: outcomes.iter().map(|o| o.average_region_size()).collect(),
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocp_3d::standard_registry_3d;
+
+    #[test]
+    fn quick_sweep_orders_mfp_below_fb_at_every_fault_count() {
+        let registry = standard_registry_3d();
+        for dist in FaultDistribution::ALL {
+            let result = run_scenario_3d(&registry, &Scenario3::quick(dist)).unwrap();
+            assert_eq!(result.points.len(), 4);
+            for p in &result.points {
+                let (fb, mfp) = (p.disabled_nonfaulty[0], p.disabled_nonfaulty[1]);
+                assert!(
+                    mfp <= fb + 1e-9,
+                    "{dist:?} @ {}: MFP3D {mfp} > FB3D {fb}",
+                    p.fault_count
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn series_have_one_column_per_model_and_one_row_per_count() {
+        let registry = standard_registry_3d();
+        let result =
+            run_scenario_3d(&registry, &Scenario3::quick(FaultDistribution::Clustered)).unwrap();
+        let fig9 = result.fig9_series();
+        let fig10 = result.fig10_series();
+        assert_eq!(fig9.curves, vec!["FB3D", "MFP3D"]);
+        assert_eq!(fig9.rows.len(), 4);
+        assert_eq!(fig10.curves, vec!["FB3D", "MFP3D"]);
+        assert!(fig9.title.contains("disabled non-faulty"));
+        assert!(fig10.title.contains("avg region size"));
+        // Region sizes include the faults, so they are at least 1 once
+        // faults exist.
+        for (_, row) in &fig10.rows {
+            assert!(row.iter().all(|&v| v >= 1.0));
+        }
+    }
+
+    #[test]
+    fn unknown_model_fails_before_running() {
+        let registry = standard_registry_3d();
+        let mut scenario = Scenario3::quick(FaultDistribution::Random);
+        scenario.models.push("CMFP".to_string());
+        let err = run_scenario_3d(&registry, &scenario).unwrap_err();
+        assert_eq!(err.requested, "CMFP");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let registry = standard_registry_3d();
+        let scenario = Scenario3::quick(FaultDistribution::Clustered);
+        let a = run_scenario_3d(&registry, &scenario).unwrap();
+        let b = run_scenario_3d(&registry, &scenario).unwrap();
+        assert_eq!(a.points, b.points);
+    }
+}

@@ -1,6 +1,7 @@
 //! Sequential fault injection under the paper's two distribution models.
 
-use mesh2d::{Coord, FaultEvent, FaultSet, Grid, Mesh2D};
+use crate::weights::{DrawRecord, WeightTable};
+use mesh2d::{Coord, FaultEvent, FaultSet, Mesh2D};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -27,20 +28,6 @@ impl FaultDistribution {
             FaultDistribution::Clustered => "clustered",
         }
     }
-}
-
-/// One entry of the injector's undo log: everything [`FaultInjector::mark_faulty`]
-/// changed, so [`FaultInjector::undo_last`] can restore the weight
-/// bookkeeping exactly.
-#[derive(Clone, Debug)]
-struct InjectionRecord {
-    /// The node that failed.
-    victim: Coord,
-    /// The weight the victim carried before it was zeroed.
-    prior_weight: u32,
-    /// Neighbors whose weight this injection raised from 1 to 2
-    /// (clustered model only).
-    boosted: Vec<Coord>,
 }
 
 /// A rewind point of a [`FaultInjector`]: the fault sequence injected so
@@ -88,29 +75,39 @@ pub struct FaultInjector {
     distribution: FaultDistribution,
     rng: StdRng,
     faults: FaultSet,
-    /// Relative failure weight per node: 1 for base rate, 2 once the node is
-    /// adjacent to an existing fault (clustered model only). Faulty nodes
-    /// have weight 0 so they are never drawn twice.
-    weight: Grid<u32>,
-    total_weight: u64,
+    /// Relative failure weight per node (1 base rate, 2 once adjacent to a
+    /// fault under the clustered model, 0 once faulty), kept by the
+    /// dimension-generic sampling core shared with the 3-D injector. Nodes
+    /// are flattened row-major (`y * width + x`).
+    weights: WeightTable,
     /// One record per injection, in order; popped by `undo_last`.
-    log: Vec<InjectionRecord>,
+    log: Vec<DrawRecord>,
 }
 
 impl FaultInjector {
     /// Creates an injector for `mesh` with the given model and RNG seed.
     pub fn new(mesh: Mesh2D, distribution: FaultDistribution, seed: u64) -> Self {
-        let weight = Grid::for_mesh(&mesh, 1u32);
-        let total_weight = mesh.node_count() as u64;
         FaultInjector {
             mesh,
             distribution,
             rng: StdRng::seed_from_u64(seed),
             faults: FaultSet::new(mesh),
-            weight,
-            total_weight,
+            weights: WeightTable::uniform(mesh.node_count()),
             log: Vec::new(),
         }
+    }
+
+    /// Flattens a mesh coordinate to its row-major sampling-core index.
+    #[inline]
+    fn node_index(&self, c: Coord) -> usize {
+        (c.y as usize) * (self.mesh.width() as usize) + c.x as usize
+    }
+
+    /// Inverse of [`node_index`](Self::node_index).
+    #[inline]
+    fn node_at(&self, index: usize) -> Coord {
+        let w = self.mesh.width() as usize;
+        Coord::new((index % w) as i32, (index / w) as i32)
     }
 
     /// The mesh being injected into.
@@ -141,11 +138,11 @@ impl FaultInjector {
     /// Injects one more fault and returns its position, or `None` when every
     /// node has already failed.
     pub fn inject_one(&mut self) -> Option<Coord> {
-        if self.total_weight == 0 {
+        if self.weights.total() == 0 {
             return None;
         }
-        let target = self.rng.gen_range(0..self.total_weight);
-        let victim = self.pick_by_weight(target)?;
+        let target = self.rng.gen_range(0..self.weights.total());
+        let victim = self.node_at(self.weights.locate(target)?);
         self.mark_faulty(victim);
         Some(victim)
     }
@@ -161,47 +158,23 @@ impl FaultInjector {
         self.faults.len()
     }
 
-    fn pick_by_weight(&self, mut target: u64) -> Option<Coord> {
-        // Linear scan over the weight grid. With at most a few thousand draws
-        // per experiment and 10^4 nodes this is far from the bottleneck; the
-        // polygon constructions dominate.
-        for (c, &w) in self.weight.iter() {
-            let w = w as u64;
-            if target < w {
-                return Some(c);
-            }
-            target -= w;
-        }
-        None
-    }
-
     fn mark_faulty(&mut self, victim: Coord) {
         debug_assert!(!self.faults.is_faulty(victim));
-        let prior_weight = self.weight[victim];
-        self.total_weight -= prior_weight as u64;
-        self.weight[victim] = 0;
         self.faults.insert(victim);
-
-        let mut boosted = Vec::new();
-        if self.distribution == FaultDistribution::Clustered {
-            // Double the failure rate of healthy adjacent neighbors that are
-            // still at the base rate. The paper keeps exactly two rates, so a
-            // node adjacent to several faults is not doubled repeatedly.
-            for n in self.mesh.neighbors8(victim) {
-                if let Some(w) = self.weight.get_mut(n) {
-                    if *w == 1 {
-                        *w = 2;
-                        self.total_weight += 1;
-                        boosted.push(n);
-                    }
-                }
-            }
-        }
-        self.log.push(InjectionRecord {
-            victim,
-            prior_weight,
-            boosted,
-        });
+        let mesh = self.mesh;
+        let victim_index = self.node_index(victim);
+        // The shared core does the zero/boost/undo bookkeeping; this injector
+        // only decides what "adjacent" means (the 8-neighborhood).
+        let record = if self.distribution == FaultDistribution::Clustered {
+            let neighbors: Vec<usize> = mesh
+                .neighbors8(victim)
+                .map(|n| self.node_index(n))
+                .collect();
+            self.weights.mark_faulty(victim_index, neighbors)
+        } else {
+            self.weights.mark_faulty(victim_index, [])
+        };
+        self.log.push(record);
     }
 
     /// Un-injects the most recent fault, restoring the weight bookkeeping
@@ -214,15 +187,10 @@ impl FaultInjector {
     /// identically.
     pub fn undo_last(&mut self) -> Option<FaultEvent> {
         let record = self.log.pop()?;
-        for n in record.boosted {
-            debug_assert_eq!(self.weight[n], 2);
-            self.weight[n] = 1;
-            self.total_weight -= 1;
-        }
-        self.weight[record.victim] = record.prior_weight;
-        self.total_weight += record.prior_weight as u64;
-        self.faults.remove(record.victim);
-        Some(FaultEvent::Repair(record.victim))
+        let victim = self.node_at(record.victim());
+        self.weights.undo(record);
+        self.faults.remove(victim);
+        Some(FaultEvent::Repair(victim))
     }
 
     /// Captures the injector's current state (fault sequence + RNG state) as
@@ -391,8 +359,26 @@ mod tests {
                 inj.faults().in_insertion_order(),
                 reference.faults().in_insertion_order()
             );
-            assert_eq!(inj.weight, reference.weight, "{dist:?}");
-            assert_eq!(inj.total_weight, reference.total_weight, "{dist:?}");
+            assert_eq!(inj.weights, reference.weights, "{dist:?}");
+        }
+    }
+
+    /// Snapshot/restore must round-trip the shared sampling core: after a
+    /// restore, the weight table (boosts included) is bit-identical to the
+    /// one captured at snapshot time.
+    #[test]
+    fn snapshot_restore_round_trips_the_shared_weight_core() {
+        let mesh = Mesh2D::square(10);
+        for dist in FaultDistribution::ALL {
+            let mut inj = FaultInjector::new(mesh, dist, 21);
+            inj.inject_up_to(8);
+            let snap = inj.snapshot();
+            let weights_at_snapshot = inj.weights.clone();
+            inj.inject_up_to(30);
+            assert_ne!(inj.weights, weights_at_snapshot, "{dist:?}");
+            inj.restore(&snap).expect("snapshot is behind the head");
+            assert_eq!(inj.weights, weights_at_snapshot, "{dist:?}");
+            assert!(inj.weights.total() > 0, "{dist:?}");
         }
     }
 

@@ -22,7 +22,9 @@
 
 pub mod injector;
 pub mod scenario;
+pub mod weights;
 
 pub use injector::{
     generate_faults, EventStream, FaultDistribution, FaultInjector, InjectorSnapshot,
 };
+pub use weights::{DrawRecord, WeightTable};

@@ -1,0 +1,218 @@
+//! The dimension-generic sampling core shared by the 2-D and 3-D injectors.
+//!
+//! Both of the paper's fault distribution models reduce to the same weighted
+//! sampling problem once node addresses are flattened to indices: every
+//! healthy node carries a relative failure weight (1 at the base rate, 2 once
+//! it is adjacent to a fault under the clustered model, 0 once it has failed),
+//! a draw picks a node proportionally to its weight, and marking the victim
+//! faulty boosts its still-base-rate neighbors. What *adjacent* means — the
+//! 8-neighborhood of a 2-D mesh or the 26-neighborhood of a 3-D mesh — is the
+//! caller's business: [`WeightTable::mark_faulty`] takes the neighbor indices
+//! as an iterator, so the exact same boost/undo bookkeeping serves every
+//! dimension.
+//!
+//! Every mutation returns a [`DrawRecord`] that [`WeightTable::undo`] replays
+//! in reverse, which is what makes injector rewind (`undo_last`) and
+//! snapshot/restore exact instead of approximate.
+
+/// Everything one [`WeightTable::mark_faulty`] call changed, so
+/// [`WeightTable::undo`] can restore the table exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrawRecord {
+    /// Flattened index of the node that failed.
+    victim: usize,
+    /// The weight the victim carried before it was zeroed.
+    prior_weight: u32,
+    /// Neighbors whose weight this injection raised from 1 to 2
+    /// (clustered model only).
+    boosted: Vec<usize>,
+}
+
+impl DrawRecord {
+    /// Flattened index of the node this record marked faulty.
+    pub fn victim(&self) -> usize {
+        self.victim
+    }
+}
+
+/// Per-node failure weights with exact boost/undo bookkeeping.
+///
+/// The paper keeps exactly two failure rates in the system: the base rate
+/// (weight 1) and the doubled rate of nodes adjacent to a fault (weight 2).
+/// Faulty nodes drop to weight 0 so they are never drawn twice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightTable {
+    weight: Vec<u32>,
+    total: u64,
+}
+
+impl WeightTable {
+    /// A table of `nodes` nodes, all at the base rate.
+    pub fn uniform(nodes: usize) -> Self {
+        WeightTable {
+            weight: vec![1; nodes],
+            total: nodes as u64,
+        }
+    }
+
+    /// Number of nodes (healthy or not) the table covers.
+    pub fn len(&self) -> usize {
+        self.weight.len()
+    }
+
+    /// True when the table covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.weight.is_empty()
+    }
+
+    /// Sum of all weights — the sampling denominator. Zero once every node
+    /// has failed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The current weight of node `index`.
+    pub fn weight_of(&self, index: usize) -> u32 {
+        self.weight[index]
+    }
+
+    /// Maps a draw `target` in `0..total()` to the node index whose weight
+    /// interval contains it, by linear scan in index order. With at most a
+    /// few thousand draws per experiment this is far from the bottleneck;
+    /// the polygon/polyhedron constructions dominate.
+    pub fn locate(&self, mut target: u64) -> Option<usize> {
+        for (i, &w) in self.weight.iter().enumerate() {
+            let w = w as u64;
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        None
+    }
+
+    /// Marks `victim` faulty (weight 0) and doubles the rate of every
+    /// neighbor in `boost` that is still at the base rate. Passing an empty
+    /// iterator gives the random model; passing the victim's mesh
+    /// neighborhood gives the clustered model. The paper keeps exactly two
+    /// rates, so a node adjacent to several faults is not doubled repeatedly
+    /// — and duplicate indices in `boost` are harmless for the same reason.
+    pub fn mark_faulty(
+        &mut self,
+        victim: usize,
+        boost: impl IntoIterator<Item = usize>,
+    ) -> DrawRecord {
+        let prior_weight = self.weight[victim];
+        debug_assert!(prior_weight > 0, "node {victim} is already faulty");
+        self.total -= prior_weight as u64;
+        self.weight[victim] = 0;
+
+        let mut boosted = Vec::new();
+        for n in boost {
+            if self.weight[n] == 1 {
+                self.weight[n] = 2;
+                self.total += 1;
+                boosted.push(n);
+            }
+        }
+        DrawRecord {
+            victim,
+            prior_weight,
+            boosted,
+        }
+    }
+
+    /// Reverses one [`mark_faulty`](Self::mark_faulty): un-boosts the
+    /// neighbors and restores the victim's prior weight. Records must be
+    /// undone in reverse order of creation for the bookkeeping to stay exact.
+    pub fn undo(&mut self, record: DrawRecord) {
+        for n in record.boosted {
+            debug_assert_eq!(self.weight[n], 2);
+            self.weight[n] = 1;
+            self.total -= 1;
+        }
+        self.weight[record.victim] = record.prior_weight;
+        self.total += record.prior_weight as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_table_sums_to_node_count() {
+        let t = WeightTable::uniform(12);
+        assert_eq!(t.len(), 12);
+        assert!(!t.is_empty());
+        assert_eq!(t.total(), 12);
+        assert_eq!(t.weight_of(5), 1);
+    }
+
+    #[test]
+    fn locate_walks_the_weight_intervals() {
+        let mut t = WeightTable::uniform(4);
+        // weights [0, 2, 1, 1] after marking node 0 with node 1 boosted
+        t.mark_faulty(0, [1]);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.locate(0), Some(1));
+        assert_eq!(t.locate(1), Some(1));
+        assert_eq!(t.locate(2), Some(2));
+        assert_eq!(t.locate(3), Some(3));
+        assert_eq!(t.locate(4), None);
+    }
+
+    #[test]
+    fn boost_applies_once_and_skips_non_base_nodes() {
+        let mut t = WeightTable::uniform(5);
+        let r1 = t.mark_faulty(0, [1, 1, 2]);
+        assert_eq!(t.weight_of(1), 2, "duplicate boost indices apply once");
+        let r2 = t.mark_faulty(3, [1, 2, 4]);
+        assert_eq!(t.weight_of(1), 2, "already-boosted node is not redoubled");
+        assert_eq!(t.weight_of(2), 2);
+        assert_eq!(r1.victim(), 0);
+        assert_eq!(r2.victim(), 3);
+    }
+
+    /// The snapshot/restore contract of the shared core: replaying the draw
+    /// records in reverse restores the table to any earlier state exactly.
+    #[test]
+    fn snapshot_restore_round_trips_through_draw_records() {
+        let mut t = WeightTable::uniform(9);
+        // Neighborhood of i on a 3x3 grid, flattened — stands in for what a
+        // real 2-D or 3-D injector would pass.
+        let neighbors = |i: usize| -> Vec<usize> {
+            let (x, y) = (i % 3, i / 3);
+            let mut out = Vec::new();
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    let (nx, ny) = (x as i32 + dx, y as i32 + dy);
+                    if (dx, dy) != (0, 0) && (0..3).contains(&nx) && (0..3).contains(&ny) {
+                        out.push((ny * 3 + nx) as usize);
+                    }
+                }
+            }
+            out
+        };
+
+        let mut log = Vec::new();
+        log.push(t.mark_faulty(4, neighbors(4)));
+        log.push(t.mark_faulty(0, neighbors(0)));
+        let snapshot = t.clone();
+        log.push(t.mark_faulty(8, neighbors(8)));
+        log.push(t.mark_faulty(1, neighbors(1)));
+        assert_ne!(t, snapshot);
+
+        t.undo(log.pop().unwrap());
+        t.undo(log.pop().unwrap());
+        assert_eq!(t, snapshot, "undoing in reverse restores the snapshot");
+
+        t.undo(log.pop().unwrap());
+        t.undo(log.pop().unwrap());
+        assert_eq!(
+            t,
+            WeightTable::uniform(9),
+            "full rewind restores the base rates"
+        );
+    }
+}

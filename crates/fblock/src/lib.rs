@@ -34,6 +34,6 @@ pub mod scheme2;
 
 pub use blocks::{extract_faulty_blocks, FaultyBlockModel};
 pub use model::{FaultModel, ModelOutcome};
-pub use registry::{BoxedModel, ModelRegistry, UnknownModel};
+pub use registry::{BoxedModel, ModelRegistry, NamedRegistry, UnknownModel};
 pub use scheme1::label_safety;
 pub use scheme2::{label_activation, SubMinimumPolygonModel};

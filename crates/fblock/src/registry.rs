@@ -7,6 +7,13 @@
 //! names and resolves them through one [`ModelRegistry`], so adding a
 //! model to every sweep is a single [`ModelRegistry::register`] call.
 //!
+//! The registry machinery itself — name → boxed-constructor entries with
+//! case-insensitive lookup and registration order — is independent of
+//! *which* model trait is being constructed, so it is provided as the
+//! generic [`NamedRegistry`]. [`ModelRegistry`] instantiates it for the
+//! 2-D [`FaultModel`]; the `mocp_3d` crate instantiates the same type for
+//! its 3-D model trait, so both dimensions share one registry pattern.
+//!
 //! `fblock` registers its own two models in [`ModelRegistry::baseline`];
 //! the `mocp_core` crate (which depends on this one) extends that with
 //! the centralized and distributed minimum-polygon models in its
@@ -19,47 +26,40 @@ use std::fmt;
 /// A boxed, thread-shareable fault model, as produced by the registry.
 pub type BoxedModel = Box<dyn FaultModel + Send + Sync>;
 
-type ModelFactory = Box<dyn Fn() -> BoxedModel + Send + Sync>;
-
 /// One registered model: its name, a one-line description, and the
 /// factory producing fresh instances.
-struct ModelEntry {
+struct ModelEntry<M: ?Sized> {
     name: &'static str,
     description: &'static str,
-    factory: ModelFactory,
+    factory: Box<dyn Fn() -> Box<M> + Send + Sync>,
 }
 
-/// Registry mapping model names to [`FaultModel`] constructors.
+/// Registry mapping names to boxed constructors of some model trait `M`
+/// (a `dyn Trait + Send + Sync` type in practice).
 ///
 /// Lookup is case-insensitive (ASCII) so CLI flags like `--models fb,fp`
 /// resolve; registered names keep their canonical spelling and
 /// registration order, which is the order sweeps report them in.
-#[derive(Default)]
-pub struct ModelRegistry {
-    entries: Vec<ModelEntry>,
+pub struct NamedRegistry<M: ?Sized> {
+    entries: Vec<ModelEntry<M>>,
 }
 
-impl ModelRegistry {
+/// The registry of 2-D [`FaultModel`] constructors used throughout the
+/// experiment harness.
+pub type ModelRegistry = NamedRegistry<dyn FaultModel + Send + Sync>;
+
+impl<M: ?Sized> Default for NamedRegistry<M> {
+    fn default() -> Self {
+        NamedRegistry {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<M: ?Sized> NamedRegistry<M> {
     /// An empty registry.
     pub fn empty() -> Self {
-        ModelRegistry::default()
-    }
-
-    /// The registry of models this crate provides: the rectangular
-    /// faulty block (FB) and the sub-minimum faulty polygon (FP).
-    pub fn baseline() -> Self {
-        let mut registry = ModelRegistry::empty();
-        registry.register(
-            "FB",
-            "rectangular faulty block (labelling scheme 1)",
-            || Box::new(crate::FaultyBlockModel),
-        );
-        registry.register(
-            "FP",
-            "sub-minimum faulty polygon (labelling schemes 1+2, Wu IPDPS 2001)",
-            || Box::new(crate::SubMinimumPolygonModel),
-        );
-        registry
+        NamedRegistry::default()
     }
 
     /// Registers a model under `name`. Panics if the name (ignoring ASCII
@@ -69,7 +69,7 @@ impl ModelRegistry {
         &mut self,
         name: &'static str,
         description: &'static str,
-        factory: impl Fn() -> BoxedModel + Send + Sync + 'static,
+        factory: impl Fn() -> Box<M> + Send + Sync + 'static,
     ) {
         assert!(!self.contains(name), "model {name:?} is already registered");
         self.entries.push(ModelEntry {
@@ -79,7 +79,7 @@ impl ModelRegistry {
         });
     }
 
-    fn entry(&self, name: &str) -> Option<&ModelEntry> {
+    fn entry(&self, name: &str) -> Option<&ModelEntry<M>> {
         self.entries
             .iter()
             .find(|e| e.name.eq_ignore_ascii_case(name))
@@ -91,7 +91,7 @@ impl ModelRegistry {
     }
 
     /// Builds a fresh instance of the named model.
-    pub fn build(&self, name: &str) -> Result<BoxedModel, UnknownModel> {
+    pub fn build(&self, name: &str) -> Result<Box<M>, UnknownModel> {
         match self.entry(name) {
             Some(entry) => Ok((entry.factory)()),
             None => Err(UnknownModel {
@@ -99,16 +99,6 @@ impl ModelRegistry {
                 known: self.names().collect(),
             }),
         }
-    }
-
-    /// Resolves `name` and runs its construction in one call.
-    pub fn construct(
-        &self,
-        name: &str,
-        mesh: &Mesh2D,
-        faults: &FaultSet,
-    ) -> Result<ModelOutcome, UnknownModel> {
-        Ok(self.build(name)?.construct(mesh, faults))
     }
 
     /// Canonical model names, in registration order.
@@ -132,9 +122,38 @@ impl ModelRegistry {
     }
 }
 
-impl fmt::Debug for ModelRegistry {
+impl ModelRegistry {
+    /// The registry of models this crate provides: the rectangular
+    /// faulty block (FB) and the sub-minimum faulty polygon (FP).
+    pub fn baseline() -> Self {
+        let mut registry = ModelRegistry::empty();
+        registry.register(
+            "FB",
+            "rectangular faulty block (labelling scheme 1)",
+            || Box::new(crate::FaultyBlockModel),
+        );
+        registry.register(
+            "FP",
+            "sub-minimum faulty polygon (labelling schemes 1+2, Wu IPDPS 2001)",
+            || Box::new(crate::SubMinimumPolygonModel),
+        );
+        registry
+    }
+
+    /// Resolves `name` and runs its construction in one call.
+    pub fn construct(
+        &self,
+        name: &str,
+        mesh: &Mesh2D,
+        faults: &FaultSet,
+    ) -> Result<ModelOutcome, UnknownModel> {
+        Ok(self.build(name)?.construct(mesh, faults))
+    }
+}
+
+impl<M: ?Sized> fmt::Debug for NamedRegistry<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ModelRegistry")
+        f.debug_struct("NamedRegistry")
             .field("models", &self.names().collect::<Vec<_>>())
             .finish()
     }

@@ -1,0 +1,305 @@
+//! 3-D fault sets and the seeded 3-D fault injector.
+//!
+//! The injector mirrors `faultgen::FaultInjector` exactly — sequential
+//! injection, prefix property, exact undo — and shares its weighted
+//! sampling core ([`faultgen::WeightTable`]): the only 3-D-specific part
+//! is that *adjacent* means the 26-neighborhood, so the clustered model
+//! doubles the failure rate of up to 26 neighbors per fault.
+
+use crate::mesh::Mesh3D;
+use crate::region::Region3;
+use faultgen::weights::{DrawRecord, WeightTable};
+use faultgen::FaultDistribution;
+use mocp_core::extension3d::Coord3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The set of faulty nodes of a 3-D mesh: a dense membership bitmap for
+/// O(1) queries plus the insertion order the clustered model depends on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultSet3 {
+    mesh: Mesh3D,
+    faulty: Vec<bool>,
+    order: Vec<Coord3>,
+}
+
+impl FaultSet3 {
+    /// An empty fault set for `mesh`.
+    pub fn new(mesh: Mesh3D) -> Self {
+        FaultSet3 {
+            mesh,
+            faulty: vec![false; mesh.node_count()],
+            order: Vec::new(),
+        }
+    }
+
+    /// Builds a fault set from coordinates (duplicates and out-of-mesh
+    /// coordinates are ignored).
+    pub fn from_coords(mesh: Mesh3D, coords: impl IntoIterator<Item = Coord3>) -> Self {
+        let mut fs = Self::new(mesh);
+        for c in coords {
+            fs.insert(c);
+        }
+        fs
+    }
+
+    /// The mesh the faults live in.
+    pub fn mesh(&self) -> &Mesh3D {
+        &self.mesh
+    }
+
+    /// Marks `c` faulty. Returns `true` when newly marked, `false` for
+    /// duplicates or coordinates outside the mesh.
+    pub fn insert(&mut self, c: Coord3) -> bool {
+        if !self.mesh.contains(c) || self.faulty[self.mesh.index(c)] {
+            return false;
+        }
+        self.faulty[self.mesh.index(c)] = true;
+        self.order.push(c);
+        true
+    }
+
+    /// Clears the fault at `c`, modelling node recovery. Returns `true`
+    /// when the node was faulty.
+    pub fn remove(&mut self, c: Coord3) -> bool {
+        if !self.is_faulty(c) {
+            return false;
+        }
+        self.faulty[self.mesh.index(c)] = false;
+        if self.order.last() == Some(&c) {
+            self.order.pop();
+        } else {
+            let pos = self
+                .order
+                .iter()
+                .rposition(|&o| o == c)
+                .expect("membership bitmap and insertion order agree");
+            self.order.remove(pos);
+        }
+        true
+    }
+
+    /// True when node `c` is faulty. Out-of-mesh coordinates are healthy.
+    #[inline]
+    pub fn is_faulty(&self, c: Coord3) -> bool {
+        self.mesh.contains(c) && self.faulty[self.mesh.index(c)]
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no node is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The faults in injection order.
+    pub fn in_insertion_order(&self) -> &[Coord3] {
+        &self.order
+    }
+
+    /// The faults as a dense [`Region3`].
+    pub fn region(&self) -> Region3 {
+        Region3::from_coords(self.order.iter().copied())
+    }
+}
+
+/// Incremental, seeded 3-D fault injector under the paper's two
+/// distribution models.
+///
+/// Like its 2-D counterpart, faults are added one at a time, so one
+/// injector serves a whole fault-count sweep: the first `k` faults of a
+/// sequence are exactly the faults the model would have produced for a
+/// budget of `k`. The boost/undo weight bookkeeping lives in the shared
+/// [`WeightTable`]; nodes are flattened through [`Mesh3D::index`].
+#[derive(Clone, Debug)]
+pub struct FaultInjector3 {
+    mesh: Mesh3D,
+    distribution: FaultDistribution,
+    rng: StdRng,
+    faults: FaultSet3,
+    weights: WeightTable,
+    log: Vec<DrawRecord>,
+}
+
+impl FaultInjector3 {
+    /// Creates an injector for `mesh` with the given model and RNG seed.
+    pub fn new(mesh: Mesh3D, distribution: FaultDistribution, seed: u64) -> Self {
+        FaultInjector3 {
+            mesh,
+            distribution,
+            rng: StdRng::seed_from_u64(seed),
+            faults: FaultSet3::new(mesh),
+            weights: WeightTable::uniform(mesh.node_count()),
+            log: Vec::new(),
+        }
+    }
+
+    /// The mesh being injected into.
+    pub fn mesh(&self) -> &Mesh3D {
+        &self.mesh
+    }
+
+    /// The distribution model in use.
+    pub fn distribution(&self) -> FaultDistribution {
+        self.distribution
+    }
+
+    /// The faults injected so far.
+    pub fn faults(&self) -> &FaultSet3 {
+        &self.faults
+    }
+
+    /// Number of faults injected so far.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no fault has been injected yet.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Injects one more fault and returns its position, or `None` when
+    /// every node has already failed.
+    pub fn inject_one(&mut self) -> Option<Coord3> {
+        if self.weights.total() == 0 {
+            return None;
+        }
+        let target = self.rng.gen_range(0..self.weights.total());
+        let victim = self.mesh.coord(self.weights.locate(target)?);
+        let record = if self.distribution == FaultDistribution::Clustered {
+            let mesh = self.mesh;
+            let neighbors: Vec<usize> = mesh.neighbors26(victim).map(|n| mesh.index(n)).collect();
+            self.weights.mark_faulty(mesh.index(victim), neighbors)
+        } else {
+            self.weights.mark_faulty(self.mesh.index(victim), [])
+        };
+        self.faults.insert(victim);
+        self.log.push(record);
+        Some(victim)
+    }
+
+    /// Injects faults until `count` faults exist in total. Returns the
+    /// number of faults actually present afterwards (saturating at the
+    /// mesh size).
+    pub fn inject_up_to(&mut self, count: usize) -> usize {
+        while self.faults.len() < count {
+            if self.inject_one().is_none() {
+                break;
+            }
+        }
+        self.faults.len()
+    }
+
+    /// Un-injects the most recent fault, restoring the weight bookkeeping
+    /// (including the clustered model's neighbor boosts) exactly through
+    /// the shared core. Returns the revived node, or `None` when no fault
+    /// remains. The RNG is **not** rewound.
+    pub fn undo_last(&mut self) -> Option<Coord3> {
+        let record = self.log.pop()?;
+        let victim = self.mesh.coord(record.victim());
+        self.weights.undo(record);
+        self.faults.remove(victim);
+        Some(victim)
+    }
+}
+
+/// Convenience wrapper: generates `count` faults in one call.
+pub fn generate_faults_3d(
+    mesh: Mesh3D,
+    count: usize,
+    distribution: FaultDistribution,
+    seed: u64,
+) -> FaultSet3 {
+    let mut inj = FaultInjector3::new(mesh, distribution, seed);
+    inj.inject_up_to(count);
+    inj.faults().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_number_of_distinct_faults() {
+        let mesh = Mesh3D::cube(8);
+        for dist in FaultDistribution::ALL {
+            let faults = generate_faults_3d(mesh, 40, dist, 7);
+            assert_eq!(faults.len(), 40, "{dist:?}");
+            assert!(faults
+                .in_insertion_order()
+                .iter()
+                .all(|&c| mesh.contains(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds_and_prefix_property() {
+        let mesh = Mesh3D::cube(6);
+        let a = generate_faults_3d(mesh, 30, FaultDistribution::Clustered, 42);
+        let b = generate_faults_3d(mesh, 30, FaultDistribution::Clustered, 42);
+        assert_eq!(a.in_insertion_order(), b.in_insertion_order());
+        let c = generate_faults_3d(mesh, 30, FaultDistribution::Clustered, 43);
+        assert_ne!(a.in_insertion_order(), c.in_insertion_order());
+
+        let mut inj = FaultInjector3::new(mesh, FaultDistribution::Clustered, 42);
+        inj.inject_up_to(10);
+        let first10 = inj.faults().in_insertion_order().to_vec();
+        inj.inject_up_to(30);
+        assert_eq!(&inj.faults().in_insertion_order()[..10], &first10[..]);
+        assert_eq!(inj.faults().in_insertion_order(), a.in_insertion_order());
+    }
+
+    #[test]
+    fn saturates_when_mesh_is_exhausted() {
+        let mesh = Mesh3D::cube(2);
+        let mut inj = FaultInjector3::new(mesh, FaultDistribution::Random, 1);
+        assert_eq!(inj.inject_up_to(100), 8);
+        assert!(inj.inject_one().is_none());
+        assert!(!inj.is_empty());
+        assert_eq!(inj.len(), 8);
+    }
+
+    #[test]
+    fn undo_restores_the_shared_weight_core_exactly() {
+        let mesh = Mesh3D::cube(5);
+        for dist in FaultDistribution::ALL {
+            let mut inj = FaultInjector3::new(mesh, dist, 5);
+            inj.inject_up_to(10);
+            let reference = inj.clone();
+            inj.inject_up_to(20);
+            for _ in 0..10 {
+                assert!(inj.undo_last().is_some());
+            }
+            assert_eq!(
+                inj.faults().in_insertion_order(),
+                reference.faults().in_insertion_order()
+            );
+            assert_eq!(inj.weights, reference.weights, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn fault_set_remove_and_region_round_trip() {
+        let mesh = Mesh3D::cube(4);
+        let mut fs = FaultSet3::from_coords(
+            mesh,
+            [
+                Coord3::new(0, 0, 0),
+                Coord3::new(1, 1, 1),
+                Coord3::new(9, 9, 9), // outside, ignored
+                Coord3::new(1, 1, 1), // duplicate, ignored
+            ],
+        );
+        assert_eq!(fs.len(), 2);
+        assert!(fs.is_faulty(Coord3::new(1, 1, 1)));
+        assert!(!fs.is_faulty(Coord3::new(9, 9, 9)));
+        assert_eq!(fs.region().len(), 2);
+        assert!(fs.remove(Coord3::new(0, 0, 0)));
+        assert!(!fs.remove(Coord3::new(0, 0, 0)));
+        assert_eq!(fs.in_insertion_order(), [Coord3::new(1, 1, 1)]);
+    }
+}

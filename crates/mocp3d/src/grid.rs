@@ -1,0 +1,138 @@
+//! Dense per-node storage for 3-D meshes.
+//!
+//! The 3-D analogue of `mesh2d::Grid`: a flat x-major `Vec` indexed by
+//! [`Coord3`], so the flood fills and status piles of the 3-D models run
+//! over contiguous memory instead of per-node `BTreeSet` probes.
+
+use crate::mesh::Mesh3D;
+use mocp_core::extension3d::Coord3;
+use std::ops::{Index, IndexMut};
+
+/// A dense `width × height × depth` array of `T`, indexed by [`Coord3`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Grid3<T> {
+    mesh: Mesh3D,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid3<T> {
+    /// Creates a grid sized for `mesh`, filled with clones of `value`.
+    pub fn for_mesh(mesh: &Mesh3D, value: T) -> Self {
+        Grid3 {
+            mesh: *mesh,
+            data: vec![value; mesh.node_count()],
+        }
+    }
+
+    /// Overwrites every cell with clones of `value`, keeping the allocation.
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+}
+
+impl<T> Grid3<T> {
+    /// The mesh this grid covers.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh3D {
+        &self.mesh
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the grid holds no cells (never, for meshes with non-zero
+    /// dimensions — but the answer comes from the data).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the cell at `c`, or `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, c: Coord3) -> Option<&T> {
+        self.mesh
+            .contains(c)
+            .then(|| &self.data[self.mesh.index(c)])
+    }
+
+    /// Returns the cell at `c` mutably, or `None` when out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, c: Coord3) -> Option<&mut T> {
+        if self.mesh.contains(c) {
+            let i = self.mesh.index(c);
+            Some(&mut self.data[i])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(coordinate, value)` pairs in x-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord3, &T)> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (self.mesh.coord(i), v))
+    }
+
+    /// Counts cells whose value satisfies `pred`.
+    pub fn count_where(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        self.data.iter().filter(|v| pred(v)).count()
+    }
+
+    /// Raw x-major access to the backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> Index<Coord3> for Grid3<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, c: Coord3) -> &T {
+        &self.data[self.mesh.index(c)]
+    }
+}
+
+impl<T> IndexMut<Coord3> for Grid3<T> {
+    #[inline]
+    fn index_mut(&mut self, c: Coord3) -> &mut T {
+        let i = self.mesh.index(c);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_index_and_queries() {
+        let mesh = Mesh3D::new(3, 2, 2);
+        let mut g = Grid3::for_mesh(&mesh, 0u32);
+        assert_eq!(g.len(), 12);
+        assert!(!g.is_empty());
+        g[Coord3::new(2, 1, 1)] = 9;
+        assert_eq!(g[Coord3::new(2, 1, 1)], 9);
+        assert_eq!(g.count_where(|&v| v == 9), 1);
+        assert_eq!(g.get(Coord3::new(3, 0, 0)), None);
+        *g.get_mut(Coord3::new(0, 0, 0)).unwrap() = 5;
+        assert_eq!(g.as_slice()[0], 5);
+        g.fill(1);
+        assert_eq!(g.count_where(|&v| v == 1), 12);
+    }
+
+    #[test]
+    fn iter_visits_every_cell_in_x_major_order() {
+        let mesh = Mesh3D::new(2, 2, 2);
+        let g = Grid3::for_mesh(&mesh, ());
+        let coords: Vec<Coord3> = g.iter().map(|(c, _)| c).collect();
+        assert_eq!(coords.len(), 8);
+        assert_eq!(coords[0], Coord3::new(0, 0, 0));
+        assert_eq!(coords[1], Coord3::new(1, 0, 0));
+        assert_eq!(coords[2], Coord3::new(0, 1, 0));
+        assert_eq!(coords[7], Coord3::new(1, 1, 1));
+    }
+}

@@ -1,0 +1,58 @@
+//! # mocp-3d — minimum orthogonal convex polyhedra in 3-D faulty meshes
+//!
+//! The paper's conclusion names the extension of the minimum orthogonal
+//! convex polygon construction to orthogonal convex *polyhedra* in 3-D
+//! meshes as its key future work. This crate carries that extension end to
+//! end, mirroring the 2-D stack's layering:
+//!
+//! * [`Mesh3D`] / [`Grid3`] — the 3-D mesh substrate with dense, flat-`Vec`
+//!   per-node storage (the analogue of `mesh2d`);
+//! * [`Region3`] — bitmap-backed node sets with 26-connected component
+//!   labelling and the dirty-line minimum orthogonal convex hull, plus
+//!   [`minimum_polyhedra`], the dense equivalent of the specification
+//!   prototype `mocp_core::extension3d::minimum_polyhedra` (which remains
+//!   the differential test oracle);
+//! * [`FaultSet3`] / [`FaultInjector3`] — the paper's random and clustered
+//!   fault distributions in 3-D, sharing `faultgen`'s dimension-generic
+//!   weighted-sampling core (the clustered model doubles the rate of the
+//!   26-neighborhood);
+//! * [`FaultyCuboidModel`] (`"FB3D"`) and [`MinimumPolyhedronModel`]
+//!   (`"MFP3D"`) — the cuboid baseline and the minimum-polyhedron
+//!   construction, registered behind the same name-keyed registry pattern
+//!   as the 2-D models ([`standard_registry_3d`]).
+//!
+//! The `experiments` crate sweeps these models over a 32×32×32 mesh
+//! (`paper_figures --three-d`) to produce the 3-D analogues of the paper's
+//! Figures 9 and 10.
+//!
+//! ```
+//! use mocp_3d::{construct_3d, generate_faults_3d, standard_registry_3d, Mesh3D};
+//! use faultgen::FaultDistribution;
+//!
+//! let mesh = Mesh3D::cube(12);
+//! let faults = generate_faults_3d(mesh, 30, FaultDistribution::Clustered, 1);
+//! let registry = standard_registry_3d();
+//! let fb = construct_3d(&registry, "FB3D", &mesh, &faults).unwrap();
+//! let mfp = construct_3d(&registry, "MFP3D", &mesh, &faults).unwrap();
+//! assert!(mfp.disabled_nonfaulty() <= fb.disabled_nonfaulty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fault;
+pub mod grid;
+pub mod mesh;
+pub mod model;
+pub mod region;
+pub mod registry;
+
+pub use fault::{generate_faults_3d, FaultInjector3, FaultSet3};
+pub use grid::Grid3;
+pub use mesh::Mesh3D;
+pub use model::{FaultModel3, FaultyCuboidModel, MinimumPolyhedronModel, Outcome3};
+pub use region::{minimum_polyhedra, Region3};
+pub use registry::{construct_3d, standard_registry_3d, BoxedModel3, ModelRegistry3};
+
+// The node address vocabulary is shared with the specification prototype.
+pub use mocp_core::extension3d::Coord3;

@@ -1,0 +1,271 @@
+//! The 3-D fault models: the FB-3D rectangular-cuboid baseline and the
+//! MFP-3D minimum orthogonal convex polyhedron construction.
+//!
+//! Both models share one skeleton — the 3-D merge process. Starting from
+//! the faults, 26-connected components of the excluded set are repeatedly
+//! replaced by their *completion* (the bounding cuboid for FB-3D, the
+//! minimum orthogonal convex hull for MFP-3D) until nothing grows. The
+//! outer iteration is what merges components whose completions touch or
+//! overlap, the 3-D counterpart of the paper's 2-D merge/superseding
+//! process. Since a component's hull is contained in its bounding cuboid,
+//! the MFP-3D excluded set is a subset of the FB-3D excluded set at every
+//! step, so MFP-3D never disables more non-faulty nodes than FB-3D.
+
+use crate::fault::FaultSet3;
+use crate::grid::Grid3;
+use crate::mesh::Mesh3D;
+use crate::region::Region3;
+use mesh2d::NodeStatus;
+use mocp_core::extension3d::Coord3;
+
+/// The outcome of running a 3-D fault-model construction on a faulty mesh:
+/// the 3-D analogue of `fblock::ModelOutcome`.
+#[derive(Clone, Debug)]
+pub struct Outcome3 {
+    /// Short model name ("FB3D", "MFP3D").
+    pub model: String,
+    /// Final status of every node (faulty / disabled / enabled).
+    pub status: Grid3<NodeStatus>,
+    /// The fault regions (cuboids or polyhedra) the model produced.
+    pub regions: Vec<Region3>,
+}
+
+impl Outcome3 {
+    /// Number of non-faulty nodes the model disables — the Figure 9
+    /// analogue metric.
+    pub fn disabled_nonfaulty(&self) -> usize {
+        self.status.count_where(|&s| s == NodeStatus::Disabled)
+    }
+
+    /// Number of faulty nodes.
+    pub fn faulty_count(&self) -> usize {
+        self.status.count_where(|&s| s == NodeStatus::Faulty)
+    }
+
+    /// Average number of nodes (faulty + disabled) per region — the
+    /// Figure 10 analogue metric. Zero when there are no regions.
+    pub fn average_region_size(&self) -> f64 {
+        if self.regions.is_empty() {
+            0.0
+        } else {
+            let total: usize = self.regions.iter().map(Region3::len).sum();
+            total as f64 / self.regions.len() as f64
+        }
+    }
+
+    /// Every faulty node is covered by some region.
+    pub fn covers_all_faults(&self) -> bool {
+        self.status
+            .iter()
+            .all(|(c, &s)| s != NodeStatus::Faulty || self.regions.iter().any(|r| r.contains(c)))
+    }
+
+    /// True when every produced region is orthogonally convex.
+    pub fn all_regions_convex(&self) -> bool {
+        self.regions.iter().all(Region3::is_orthogonally_convex)
+    }
+
+    /// True when the produced regions are pairwise disjoint.
+    pub fn regions_disjoint(&self) -> bool {
+        for (i, a) in self.regions.iter().enumerate() {
+            for b in &self.regions[i + 1..] {
+                if a.iter().any(|c| b.contains(c)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A 3-D fault-model construction: given the mesh and the faults, decide
+/// which non-faulty nodes must be disabled so that the excluded regions
+/// have the shape the model promises (cuboids for FB-3D, orthogonal
+/// convex polyhedra for MFP-3D).
+pub trait FaultModel3 {
+    /// Short display name ("FB3D", "MFP3D").
+    fn name(&self) -> &'static str;
+
+    /// Runs the construction.
+    fn construct(&self, mesh: &Mesh3D, faults: &FaultSet3) -> Outcome3;
+}
+
+/// How one merge-process step completes a 26-connected component.
+fn complete_component(comp: &Region3, cuboid: bool) -> Region3 {
+    if cuboid {
+        let (lo, hi) = comp.bounding_box().expect("components are non-empty");
+        let mut cells = Vec::with_capacity(
+            ((hi.x - lo.x + 1) * (hi.y - lo.y + 1) * (hi.z - lo.z + 1)) as usize,
+        );
+        for z in lo.z..=hi.z {
+            for y in lo.y..=hi.y {
+                for x in lo.x..=hi.x {
+                    cells.push(Coord3::new(x, y, z));
+                }
+            }
+        }
+        Region3::from_coords(cells)
+    } else {
+        comp.orthogonal_convex_hull()
+    }
+}
+
+/// The shared merge-process fixpoint: replace every 26-connected component
+/// of the excluded set by its completion until the set stops growing, then
+/// report the final components as the model's regions.
+fn merge_process(mesh: &Mesh3D, faults: &FaultSet3, name: &'static str, cuboid: bool) -> Outcome3 {
+    let mut excluded = faults.region();
+    let regions = loop {
+        let components = excluded.components26();
+        let completed: Vec<Region3> = components
+            .iter()
+            .map(|c| complete_component(c, cuboid))
+            .collect();
+        // Completions stay inside their component's bounding box, and
+        // faults are in-mesh by FaultSet3 construction, so `next` never
+        // leaves the mesh.
+        let next = Region3::from_coords(completed.iter().flat_map(Region3::iter));
+        if next.len() == excluded.len() {
+            break completed;
+        }
+        excluded = next;
+    };
+
+    let mut status = Grid3::for_mesh(mesh, NodeStatus::Enabled);
+    for region in &regions {
+        for c in region.iter() {
+            status[c] = NodeStatus::Disabled;
+        }
+    }
+    for &c in faults.in_insertion_order() {
+        status[c] = NodeStatus::Faulty;
+    }
+    Outcome3 {
+        model: name.to_string(),
+        status,
+        regions,
+    }
+}
+
+/// The FB-3D baseline: every fault component is blocked out by its full
+/// bounding cuboid — the 3-D generalization of the rectangular faulty
+/// block of labelling scheme 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultyCuboidModel;
+
+impl FaultModel3 for FaultyCuboidModel {
+    fn name(&self) -> &'static str {
+        "FB3D"
+    }
+
+    fn construct(&self, mesh: &Mesh3D, faults: &FaultSet3) -> Outcome3 {
+        merge_process(mesh, faults, self.name(), true)
+    }
+}
+
+/// The MFP-3D construction: every fault component is completed to its
+/// minimum orthogonal convex polyhedron — the paper's future-work
+/// extension, promoted to a full model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinimumPolyhedronModel;
+
+impl FaultModel3 for MinimumPolyhedronModel {
+    fn name(&self) -> &'static str {
+        "MFP3D"
+    }
+
+    fn construct(&self, mesh: &Mesh3D, faults: &FaultSet3) -> Outcome3 {
+        merge_process(mesh, faults, self.name(), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::generate_faults_3d;
+    use faultgen::FaultDistribution;
+
+    fn faults(mesh: Mesh3D, list: &[(i32, i32, i32)]) -> FaultSet3 {
+        FaultSet3::from_coords(mesh, list.iter().map(|&(x, y, z)| Coord3::new(x, y, z)))
+    }
+
+    #[test]
+    fn cuboid_blocks_out_the_bounding_box() {
+        let mesh = Mesh3D::cube(8);
+        // Two opposite corners of a 2x2x2 box: FB-3D disables the other 6.
+        let fs = faults(mesh, &[(2, 2, 2), (3, 3, 3)]);
+        let outcome = FaultyCuboidModel.construct(&mesh, &fs);
+        assert_eq!(outcome.model, "FB3D");
+        assert_eq!(outcome.regions.len(), 1);
+        assert_eq!(outcome.regions[0].len(), 8);
+        assert_eq!(outcome.disabled_nonfaulty(), 6);
+        assert_eq!(outcome.faulty_count(), 2);
+        assert!(outcome.covers_all_faults());
+        assert!(outcome.all_regions_convex());
+    }
+
+    #[test]
+    fn polyhedron_disables_only_forced_nodes() {
+        let mesh = Mesh3D::cube(8);
+        // The same diagonal pair is already orthogonally convex: MFP-3D
+        // disables nothing where FB-3D disables six nodes.
+        let fs = faults(mesh, &[(2, 2, 2), (3, 3, 3)]);
+        let outcome = MinimumPolyhedronModel.construct(&mesh, &fs);
+        assert_eq!(outcome.model, "MFP3D");
+        assert_eq!(outcome.disabled_nonfaulty(), 0);
+        assert_eq!(outcome.average_region_size(), 2.0);
+        assert!(outcome.covers_all_faults());
+        assert!(outcome.all_regions_convex());
+        assert!(outcome.regions_disjoint());
+    }
+
+    #[test]
+    fn touching_completions_merge() {
+        let mesh = Mesh3D::cube(10);
+        // Two U-shapes whose fills land adjacent: the merge process must
+        // reach a fixpoint with disjoint regions either way.
+        let fs = faults(
+            mesh,
+            &[(0, 0, 0), (2, 0, 0), (4, 0, 0), (0, 2, 0), (4, 2, 0)],
+        );
+        for (model, name) in [
+            (&FaultyCuboidModel as &dyn FaultModel3, "FB3D"),
+            (&MinimumPolyhedronModel as &dyn FaultModel3, "MFP3D"),
+        ] {
+            let outcome = model.construct(&mesh, &fs);
+            assert_eq!(outcome.model, name);
+            assert!(outcome.covers_all_faults());
+            assert!(outcome.regions_disjoint());
+            assert!(outcome.all_regions_convex());
+        }
+    }
+
+    #[test]
+    fn mfp_never_disables_more_than_fb() {
+        let mesh = Mesh3D::cube(10);
+        for seed in 0..4 {
+            for dist in FaultDistribution::ALL {
+                let fs = generate_faults_3d(mesh, 60, dist, seed);
+                let fb = FaultyCuboidModel.construct(&mesh, &fs);
+                let mfp = MinimumPolyhedronModel.construct(&mesh, &fs);
+                assert!(
+                    mfp.disabled_nonfaulty() <= fb.disabled_nonfaulty(),
+                    "seed {seed} {dist:?}: MFP3D {} > FB3D {}",
+                    mfp.disabled_nonfaulty(),
+                    fb.disabled_nonfaulty()
+                );
+                assert!(mfp.covers_all_faults() && fb.covers_all_faults());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_set_yields_empty_outcome() {
+        let mesh = Mesh3D::cube(4);
+        let outcome = MinimumPolyhedronModel.construct(&mesh, &FaultSet3::new(mesh));
+        assert!(outcome.regions.is_empty());
+        assert_eq!(outcome.disabled_nonfaulty(), 0);
+        assert_eq!(outcome.average_region_size(), 0.0);
+        assert!(outcome.covers_all_faults());
+    }
+}

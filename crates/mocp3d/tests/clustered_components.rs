@@ -1,0 +1,37 @@
+//! Distribution-shape property of the 3-D injector: clustering packs the
+//! same number of faults into fewer 26-connected components than uniform
+//! placement, mirroring the 2-D statistical check in `faultgen`.
+
+use faultgen::FaultDistribution;
+use mocp_3d::{generate_faults_3d, Mesh3D};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// At equal fault counts, clustered injection yields fewer 26-connected
+    /// components than random injection. Averaged over a band of seeds per
+    /// case to keep the statistical assertion stable.
+    #[test]
+    fn clustered_injection_yields_fewer_components_than_random(base in 0u64..1000) {
+        let mesh = Mesh3D::cube(16);
+        let count = 160;
+        let mut random_components = 0usize;
+        let mut clustered_components = 0usize;
+        for offset in 0..6 {
+            let seed = base * 1000 + offset;
+            let rf = generate_faults_3d(mesh, count, FaultDistribution::Random, seed);
+            let cf = generate_faults_3d(mesh, count, FaultDistribution::Clustered, seed);
+            prop_assert_eq!(rf.len(), count);
+            prop_assert_eq!(cf.len(), count);
+            random_components += rf.region().components26().len();
+            clustered_components += cf.region().components26().len();
+        }
+        prop_assert!(
+            clustered_components < random_components,
+            "clustered {} should be < random {}",
+            clustered_components,
+            random_components
+        );
+    }
+}

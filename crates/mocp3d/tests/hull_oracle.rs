@@ -1,0 +1,105 @@
+//! Differential and structural property tests of the dense 3-D hull.
+//!
+//! The `mocp_core::extension3d` prototype is the specification oracle: the
+//! dense, bitmap-backed construction must produce exactly its polyhedra on
+//! arbitrary small regions, and the hull must be idempotent, orthogonally
+//! convex and *minimal* — removing any non-fault node breaks convexity (no
+//! added node is optional).
+
+use mocp_3d::{minimum_polyhedra, Coord3, Region3};
+use mocp_core::extension3d as oracle;
+use proptest::prelude::*;
+
+fn coords(list: &[(i32, i32, i32)]) -> Vec<Coord3> {
+    list.iter().map(|&(x, y, z)| Coord3::new(x, y, z)).collect()
+}
+
+/// Normalizes a polyhedron list to nested sorted coordinate lists, so the
+/// dense and oracle results compare independently of component order and
+/// internal representation.
+fn normalize(polyhedra: Vec<Vec<Coord3>>) -> Vec<Vec<Coord3>> {
+    let mut out: Vec<Vec<Coord3>> = polyhedra
+        .into_iter()
+        .map(|mut p| {
+            p.sort_unstable();
+            p
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole acceptance property: the dense construction equals the
+    /// prototype's `minimum_polyhedra` on random small regions.
+    #[test]
+    fn dense_construction_matches_the_prototype_oracle(
+        pts in prop::collection::vec((0..6i32, 0..6i32, 0..6i32), 0..36)
+    ) {
+        let cs = coords(&pts);
+        let dense = minimum_polyhedra(&Region3::from_coords(cs.iter().copied()));
+        let proto = oracle::minimum_polyhedra(&oracle::Region3::from_coords(cs.iter().copied()));
+        prop_assert_eq!(
+            normalize(dense.iter().map(|p| p.iter().collect()).collect()),
+            normalize(proto.iter().map(|p| p.iter().collect()).collect())
+        );
+    }
+
+    /// Idempotence, convexity, containment, and minimality of the hull on
+    /// ≤6³ grids: every node the hull adds is forced, i.e. removing any
+    /// non-fault node breaks convexity or containment (containment holds
+    /// trivially after removing an added node, so convexity must break).
+    #[test]
+    fn hull_is_idempotent_convex_and_minimal(
+        pts in prop::collection::vec((0..6i32, 0..6i32, 0..6i32), 1..24)
+    ) {
+        let cs = coords(&pts);
+        let region = Region3::from_coords(cs.iter().copied());
+        let hull = region.orthogonal_convex_hull();
+
+        prop_assert!(hull.is_orthogonally_convex());
+        prop_assert!(region.iter().all(|c| hull.contains(c)), "hull contains the region");
+        prop_assert_eq!(hull.orthogonal_convex_hull(), hull.clone(), "idempotent");
+
+        // Against the brute-force/specification oracle.
+        let oracle_hull = oracle::Region3::from_coords(cs.iter().copied()).orthogonal_convex_hull();
+        prop_assert_eq!(hull.len(), oracle_hull.len());
+        prop_assert!(hull.iter().all(|c| oracle_hull.contains(c)));
+
+        // Minimality: dropping any added (non-fault) node breaks convexity.
+        for added in hull.iter().filter(|&c| !region.contains(c)) {
+            let without = Region3::from_coords(hull.iter().filter(|&c| c != added));
+            prop_assert!(
+                !without.is_orthogonally_convex(),
+                "hull node {added:?} is not forced"
+            );
+        }
+    }
+
+    /// The convexity test agrees with the oracle's definition.
+    #[test]
+    fn convexity_test_matches_the_oracle(
+        pts in prop::collection::vec((0..5i32, 0..5i32, 0..5i32), 0..20)
+    ) {
+        let cs = coords(&pts);
+        let dense = Region3::from_coords(cs.iter().copied());
+        let proto = oracle::Region3::from_coords(cs.iter().copied());
+        prop_assert_eq!(dense.is_orthogonally_convex(), proto.is_orthogonally_convex());
+    }
+
+    /// Component labelling agrees with the oracle's 26-adjacency merge.
+    #[test]
+    fn components_match_the_oracle(
+        pts in prop::collection::vec((0..6i32, 0..6i32, 0..6i32), 0..30)
+    ) {
+        let cs = coords(&pts);
+        let dense = Region3::from_coords(cs.iter().copied()).components26();
+        let proto = oracle::Region3::from_coords(cs.iter().copied()).components26();
+        prop_assert_eq!(
+            normalize(dense.iter().map(|p| p.iter().collect()).collect()),
+            normalize(proto.iter().map(|p| p.iter().collect()).collect())
+        );
+    }
+}

@@ -26,5 +26,6 @@ pub use faultgen;
 pub use fblock;
 pub use mesh2d;
 pub use meshroute;
+pub use mocp_3d;
 pub use mocp_core;
 pub use mocp_incremental;

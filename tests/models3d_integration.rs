@@ -1,0 +1,79 @@
+//! Integration of the 3-D subsystem through the facade: registry-resolved
+//! FB-3D / MFP-3D constructions, their safety properties, and the ordering
+//! the `--three-d` sweep reports.
+
+use mocp::faultgen::FaultDistribution;
+use mocp::mocp_3d::{construct_3d, generate_faults_3d, standard_registry_3d, Mesh3D};
+use mocp::mocp_core::extension3d;
+
+#[test]
+fn registry_resolved_models_satisfy_safety_and_ordering() {
+    let mesh = Mesh3D::cube(14);
+    let registry = standard_registry_3d();
+    for dist in FaultDistribution::ALL {
+        for seed in 0..3 {
+            let faults = generate_faults_3d(mesh, 70, dist, seed);
+            let fb = construct_3d(&registry, "FB3D", &mesh, &faults).unwrap();
+            let mfp = construct_3d(&registry, "MFP3D", &mesh, &faults).unwrap();
+            for outcome in [&fb, &mfp] {
+                assert!(outcome.covers_all_faults(), "{dist:?} seed {seed}");
+                assert!(outcome.all_regions_convex(), "{dist:?} seed {seed}");
+                assert!(outcome.regions_disjoint(), "{dist:?} seed {seed}");
+                assert_eq!(outcome.faulty_count(), 70, "{dist:?} seed {seed}");
+            }
+            assert!(
+                mfp.disabled_nonfaulty() <= fb.disabled_nonfaulty(),
+                "{dist:?} seed {seed}: MFP3D must never disable more than FB3D"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_subsystem_agrees_with_the_specification_prototype() {
+    // The facade exposes both the subsystem and its oracle; on a moderate
+    // clustered instance the constructions must coincide exactly.
+    let mesh = Mesh3D::cube(10);
+    let faults = generate_faults_3d(mesh, 50, FaultDistribution::Clustered, 9);
+    let coords = faults.in_insertion_order().to_vec();
+
+    let dense = mocp::mocp_3d::minimum_polyhedra(&mocp::mocp_3d::Region3::from_coords(
+        coords.iter().copied(),
+    ));
+    let proto =
+        extension3d::minimum_polyhedra(&extension3d::Region3::from_coords(coords.iter().copied()));
+
+    let norm = |polys: Vec<Vec<extension3d::Coord3>>| {
+        let mut polys: Vec<Vec<_>> = polys
+            .into_iter()
+            .map(|mut p| {
+                p.sort_unstable();
+                p
+            })
+            .collect();
+        polys.sort_unstable();
+        polys
+    };
+    assert_eq!(
+        norm(dense.iter().map(|p| p.iter().collect()).collect()),
+        norm(proto.iter().map(|p| p.iter().collect()).collect())
+    );
+}
+
+#[test]
+fn three_d_sweep_runs_through_the_facade() {
+    use mocp::experiments::three_d::Scenario3;
+    let registry = standard_registry_3d();
+    let result = mocp::experiments::run_scenario_3d(
+        &registry,
+        &Scenario3::quick(FaultDistribution::Clustered),
+    )
+    .unwrap();
+    let fig9 = result.fig9_series();
+    let fb = fig9.curve("FB3D").unwrap();
+    let mfp = fig9.curve("MFP3D").unwrap();
+    assert_eq!(fb.len(), mfp.len());
+    for (f, m) in fb.iter().zip(&mfp) {
+        assert!(m <= f, "MFP3D {m} > FB3D {f}");
+    }
+}
