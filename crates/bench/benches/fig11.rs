@@ -4,19 +4,22 @@
 use bench::figure_config;
 use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::fig11::figure11;
-use experiments::{render_table, run_sweep};
+use experiments::scenario::Scenario;
+use experiments::{render_table, run_scenario};
 use faultgen::FaultDistribution;
 
 fn bench_fig11(c: &mut Criterion) {
     let config = figure_config();
+    let registry = mocp_core::standard_registry();
     let mut group = c.benchmark_group("fig11_rounds");
     group.sample_size(10);
     for dist in FaultDistribution::ALL {
-        let series = figure11(&run_sweep(&config, dist));
+        let scenario = Scenario::paper_figures(&config, dist);
+        let series = figure11(&run_scenario(&registry, &scenario).unwrap());
         eprintln!("{}", render_table(&series));
         group.bench_function(dist.label(), |b| {
             b.iter(|| {
-                let result = run_sweep(&config, dist);
+                let result = run_scenario(&registry, &scenario).unwrap();
                 std::hint::black_box(figure11(&result))
             })
         });

@@ -5,21 +5,24 @@
 use bench::figure_config;
 use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::fig9::figure9_raw;
-use experiments::{render_table, run_sweep};
+use experiments::scenario::Scenario;
+use experiments::{render_table, run_scenario};
 use faultgen::FaultDistribution;
 
 fn bench_fig9(c: &mut Criterion) {
     let config = figure_config();
+    let registry = mocp_core::standard_registry();
     let mut group = c.benchmark_group("fig9_disabled_nodes");
     group.sample_size(10);
     for dist in FaultDistribution::ALL {
+        let scenario = Scenario::paper_figures(&config, dist);
         // Print the regenerated series once so the bench doubles as a figure
         // reproduction run.
-        let series = figure9_raw(&run_sweep(&config, dist));
+        let series = figure9_raw(&run_scenario(&registry, &scenario).unwrap());
         eprintln!("{}", render_table(&series));
         group.bench_function(dist.label(), |b| {
             b.iter(|| {
-                let result = run_sweep(&config, dist);
+                let result = run_scenario(&registry, &scenario).unwrap();
                 std::hint::black_box(figure9_raw(&result))
             })
         });

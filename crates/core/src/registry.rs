@@ -9,7 +9,7 @@ use fblock::ModelRegistry;
 /// is the single constructor the experiment harness, benches, examples
 /// and tests resolve models through.
 pub fn standard_registry() -> ModelRegistry {
-    let mut registry = ModelRegistry::baseline();
+    let mut registry = fblock::baseline_registry();
     registry.register(
         "CMFP",
         "centralized minimum faulty polygon (solution 1: virtual faulty blocks)",

@@ -1,12 +1,16 @@
 //! Figure 10: average size of a faulty block / polygon (faulty plus
 //! non-faulty nodes it contains) under FB, FP and MFP.
 
-use crate::sweep::SweepResult;
+use crate::scenario::ScenarioResult;
 use crate::table::Series;
 
 /// Extracts the Figure 10 series.
-pub fn figure10(result: &SweepResult) -> Series {
-    let label = match result.distribution {
+///
+/// # Panics
+/// Panics when the result was not produced by a scenario containing the
+/// paper's FB, FP and CMFP models.
+pub fn figure10(result: &ScenarioResult) -> Series {
+    let label = match result.scenario.distribution {
         faultgen::FaultDistribution::Random => "(a) random fault distribution",
         faultgen::FaultDistribution::Clustered => "(b) clustered fault distribution",
     };
@@ -15,13 +19,18 @@ pub fn figure10(result: &SweepResult) -> Series {
         "faults".to_string(),
         vec!["FB".into(), "FP".into(), "MFP".into()],
     );
-    for p in &result.points {
+    let [fb, fp, mfp] = ["FB", "FP", "CMFP"].map(|m| {
+        result
+            .model_curve(m)
+            .unwrap_or_else(|| panic!("paper-figure scenario ran without the {m} model"))
+    });
+    for (i, p) in result.points.iter().enumerate() {
         series.push_row(
             p.fault_count,
             vec![
-                p.fb.avg_region_size,
-                p.fp.avg_region_size,
-                p.cmfp.avg_region_size,
+                fb[i].avg_region_size,
+                fp[i].avg_region_size,
+                mfp[i].avg_region_size,
             ],
         );
     }
@@ -31,14 +40,19 @@ pub fn figure10(result: &SweepResult) -> Series {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::{run_sweep, SweepConfig};
+    use crate::scenario::{run_scenario, Scenario};
+    use crate::sweep::SweepConfig;
     use faultgen::FaultDistribution;
+
+    fn result_for(config: &SweepConfig, dist: FaultDistribution) -> ScenarioResult {
+        let registry = mocp_core::standard_registry();
+        run_scenario(&registry, &Scenario::paper_figures(config, dist)).unwrap()
+    }
 
     #[test]
     fn mfp_regions_are_smallest_on_average() {
         for dist in FaultDistribution::ALL {
-            let result = run_sweep(&SweepConfig::quick(), dist);
-            let series = figure10(&result);
+            let series = figure10(&result_for(&SweepConfig::quick(), dist));
             let fb = series.curve("FB").unwrap();
             let fp = series.curve("FP").unwrap();
             let mfp = series.curve("MFP").unwrap();
@@ -59,10 +73,12 @@ mod tests {
             trials: 3,
             base_seed: 11,
         };
-        let random = run_sweep(&config, FaultDistribution::Random);
-        let clustered = run_sweep(&config, FaultDistribution::Clustered);
-        let fb_random = figure10(&random).curve("FB").unwrap()[0];
-        let fb_clustered = figure10(&clustered).curve("FB").unwrap()[0];
+        let fb_random = figure10(&result_for(&config, FaultDistribution::Random))
+            .curve("FB")
+            .unwrap()[0];
+        let fb_clustered = figure10(&result_for(&config, FaultDistribution::Clustered))
+            .curve("FB")
+            .unwrap()[0];
         assert!(
             fb_clustered > fb_random,
             "clustered {fb_clustered} vs random {fb_random}"
@@ -71,8 +87,10 @@ mod tests {
 
     #[test]
     fn every_region_contains_at_least_one_node() {
-        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Random);
-        let series = figure10(&result);
+        let series = figure10(&result_for(
+            &SweepConfig::quick(),
+            FaultDistribution::Random,
+        ));
         for (_, values) in &series.rows {
             for v in values {
                 assert!(*v >= 1.0);

@@ -1,12 +1,16 @@
 //! Figure 11: average number of rounds for status determination under FB,
 //! FP, CMFP (centralized) and DMFP (distributed).
 
-use crate::sweep::SweepResult;
+use crate::scenario::ScenarioResult;
 use crate::table::Series;
 
 /// Extracts the Figure 11 series.
-pub fn figure11(result: &SweepResult) -> Series {
-    let label = match result.distribution {
+///
+/// # Panics
+/// Panics when the result was not produced by a scenario containing the
+/// paper's FB, FP, CMFP and DMFP models.
+pub fn figure11(result: &ScenarioResult) -> Series {
+    let label = match result.scenario.distribution {
         faultgen::FaultDistribution::Random => "(a) random fault distribution",
         faultgen::FaultDistribution::Clustered => "(b) clustered fault distribution",
     };
@@ -15,10 +19,15 @@ pub fn figure11(result: &SweepResult) -> Series {
         "faults".to_string(),
         vec!["FB".into(), "FP".into(), "CMFP".into(), "DMFP".into()],
     );
-    for p in &result.points {
+    let [fb, fp, cmfp, dmfp] = ["FB", "FP", "CMFP", "DMFP"].map(|m| {
+        result
+            .model_curve(m)
+            .unwrap_or_else(|| panic!("paper-figure scenario ran without the {m} model"))
+    });
+    for (i, p) in result.points.iter().enumerate() {
         series.push_row(
             p.fault_count,
-            vec![p.fb.rounds, p.fp.rounds, p.cmfp.rounds, p.dmfp.rounds],
+            vec![fb[i].rounds, fp[i].rounds, cmfp[i].rounds, dmfp[i].rounds],
         );
     }
     series
@@ -27,8 +36,14 @@ pub fn figure11(result: &SweepResult) -> Series {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::{run_sweep, SweepConfig};
+    use crate::scenario::{run_scenario, Scenario};
+    use crate::sweep::SweepConfig;
     use faultgen::FaultDistribution;
+
+    fn result_for(config: &SweepConfig, dist: FaultDistribution) -> ScenarioResult {
+        let registry = mocp_core::standard_registry();
+        run_scenario(&registry, &Scenario::paper_figures(config, dist)).unwrap()
+    }
 
     #[test]
     fn fp_needs_more_rounds_than_fb_and_cmfp_fewer_than_fb() {
@@ -41,8 +56,7 @@ mod tests {
             base_seed: 3,
         };
         for dist in FaultDistribution::ALL {
-            let result = run_sweep(&config, dist);
-            let series = figure11(&result);
+            let series = figure11(&result_for(&config, dist));
             let fb = series.curve("FB").unwrap()[0];
             let fp = series.curve("FP").unwrap()[0];
             let cmfp = series.curve("CMFP").unwrap()[0];
@@ -55,8 +69,10 @@ mod tests {
     fn dmfp_needs_more_rounds_than_cmfp() {
         // The distributed construction circles each component, so it pays
         // more rounds than the centralized emulation.
-        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Clustered);
-        let series = figure11(&result);
+        let series = figure11(&result_for(
+            &SweepConfig::quick(),
+            FaultDistribution::Clustered,
+        ));
         let cmfp = series.curve("CMFP").unwrap();
         let dmfp = series.curve("DMFP").unwrap();
         for i in 0..cmfp.len() {
@@ -66,8 +82,10 @@ mod tests {
 
     #[test]
     fn figure11_has_four_curves() {
-        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Random);
-        let series = figure11(&result);
+        let series = figure11(&result_for(
+            &SweepConfig::quick(),
+            FaultDistribution::Random,
+        ));
         assert_eq!(series.curves, vec!["FB", "FP", "CMFP", "DMFP"]);
     }
 }

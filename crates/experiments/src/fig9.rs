@@ -2,29 +2,51 @@
 //! and MFP, on a log₁₀ scale, for the random (a) and clustered (b) fault
 //! distribution models.
 
-use crate::sweep::SweepResult;
+use crate::scenario::ScenarioResult;
+use crate::sweep::ModelPoint;
 use crate::table::Series;
+
+fn distribution_label(result: &ScenarioResult) -> &'static str {
+    match result.scenario.distribution {
+        faultgen::FaultDistribution::Random => "(a) random fault distribution",
+        faultgen::FaultDistribution::Clustered => "(b) clustered fault distribution",
+    }
+}
+
+/// The FB / FP / MFP curves of a paper-figure scenario result (the MFP
+/// curve is the CMFP column; DMFP produces identical polygons).
+///
+/// # Panics
+/// Panics when the result was not produced by a scenario containing the
+/// paper's FB, FP and CMFP models.
+fn paper_curves(result: &ScenarioResult) -> [Vec<ModelPoint>; 3] {
+    ["FB", "FP", "CMFP"].map(|m| {
+        result
+            .model_curve(m)
+            .unwrap_or_else(|| panic!("paper-figure scenario ran without the {m} model"))
+    })
+}
 
 /// Extracts the Figure 9 series (log₁₀ of the disabled-node counts, as the
 /// paper plots them; zero counts are reported as -1 to match the paper's
 /// bottom-of-axis convention).
-pub fn figure9(result: &SweepResult) -> Series {
-    let label = match result.distribution {
-        faultgen::FaultDistribution::Random => "(a) random fault distribution",
-        faultgen::FaultDistribution::Clustered => "(b) clustered fault distribution",
-    };
+pub fn figure9(result: &ScenarioResult) -> Series {
     let mut series = Series::new(
-        format!("Figure 9 {label}: # of disabled non-faulty nodes (log10)"),
+        format!(
+            "Figure 9 {}: # of disabled non-faulty nodes (log10)",
+            distribution_label(result)
+        ),
         "faults".to_string(),
         vec!["FB".into(), "FP".into(), "MFP".into()],
     );
-    for p in &result.points {
+    let [fb, fp, mfp] = paper_curves(result);
+    for (i, p) in result.points.iter().enumerate() {
         series.push_row(
             p.fault_count,
             vec![
-                log10_or_floor(p.fb.disabled_nonfaulty),
-                log10_or_floor(p.fp.disabled_nonfaulty),
-                log10_or_floor(p.cmfp.disabled_nonfaulty),
+                log10_or_floor(fb[i].disabled_nonfaulty),
+                log10_or_floor(fp[i].disabled_nonfaulty),
+                log10_or_floor(mfp[i].disabled_nonfaulty),
             ],
         );
     }
@@ -32,22 +54,23 @@ pub fn figure9(result: &SweepResult) -> Series {
 }
 
 /// Raw (non-logarithmic) variant of Figure 9, convenient for EXPERIMENTS.md.
-pub fn figure9_raw(result: &SweepResult) -> Series {
+pub fn figure9_raw(result: &ScenarioResult) -> Series {
     let mut series = Series::new(
         format!(
             "Figure 9 ({}) raw counts: # of disabled non-faulty nodes",
-            result.distribution.label()
+            result.scenario.distribution.label()
         ),
         "faults".to_string(),
         vec!["FB".into(), "FP".into(), "MFP".into()],
     );
-    for p in &result.points {
+    let [fb, fp, mfp] = paper_curves(result);
+    for (i, p) in result.points.iter().enumerate() {
         series.push_row(
             p.fault_count,
             vec![
-                p.fb.disabled_nonfaulty,
-                p.fp.disabled_nonfaulty,
-                p.cmfp.disabled_nonfaulty,
+                fb[i].disabled_nonfaulty,
+                fp[i].disabled_nonfaulty,
+                mfp[i].disabled_nonfaulty,
             ],
         );
     }
@@ -65,13 +88,22 @@ fn log10_or_floor(v: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::{run_sweep, SweepConfig};
+    use crate::scenario::{run_scenario, Scenario};
+    use crate::sweep::SweepConfig;
     use faultgen::FaultDistribution;
+
+    fn quick_result(dist: FaultDistribution) -> ScenarioResult {
+        let registry = mocp_core::standard_registry();
+        run_scenario(
+            &registry,
+            &Scenario::paper_figures(&SweepConfig::quick(), dist),
+        )
+        .unwrap()
+    }
 
     #[test]
     fn figure9_orders_models_correctly() {
-        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Clustered);
-        let series = figure9_raw(&result);
+        let series = figure9_raw(&quick_result(FaultDistribution::Clustered));
         let fb = series.curve("FB").unwrap();
         let fp = series.curve("FP").unwrap();
         let mfp = series.curve("MFP").unwrap();
@@ -89,10 +121,19 @@ mod tests {
 
     #[test]
     fn figure9_has_three_curves_and_titles_per_distribution() {
-        let result = run_sweep(&SweepConfig::quick(), FaultDistribution::Random);
-        let series = figure9(&result);
+        let series = figure9(&quick_result(FaultDistribution::Random));
         assert_eq!(series.curves.len(), 3);
         assert!(series.title.contains("random"));
         assert_eq!(series.rows.len(), SweepConfig::quick().fault_counts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "without the CMFP model")]
+    fn non_paper_scenarios_are_rejected() {
+        let registry = mocp_core::standard_registry();
+        let scenario = Scenario::paper_figures(&SweepConfig::quick(), FaultDistribution::Random)
+            .with_models(["FB", "FP"]);
+        let result = run_scenario(&registry, &scenario).unwrap();
+        figure9(&result);
     }
 }

@@ -12,19 +12,19 @@
 //! * **Figure 11** — average number of rounds of status determination under
 //!   FB, FP, CMFP and DMFP.
 //!
-//! This crate contains the scenario-driven runner ([`scenario`]) that
-//! executes any declarative [`Scenario`] — mesh size, fault distribution
-//! and counts, model names resolved through the model registry, trial
-//! count — with one code path, the [`streaming`] execution mode that
-//! produces the Figure 9/10 MFP curves from *one* pass over each
-//! injection sequence via the incremental maintenance engine, the
-//! compatibility sweep driver ([`sweep`]) that regenerates all three
-//! figures from one pass over the fault counts, per-figure series
-//! extractors ([`fig9`], [`fig10`], [`fig11`]), the [`three_d`] sweep
-//! producing the Figure 9/10 analogues for the 3-D extension (FB-3D vs
-//! MFP-3D, `paper_figures --three-d`), plain-text/CSV rendering
-//! ([`table`]), and the `paper_figures` binary that prints any figure
-//! from the command line.
+//! This crate contains **one** sweep runner for every dimension: the
+//! scenario-driven [`scenario`] module executes any declarative
+//! [`Scenario`] — mesh side, fault distribution and counts, model names,
+//! trial count — against any `mocp_topology::ModelRegistry<T>`, so the
+//! paper's 2-D figures and the 3-D Figure 9/10 analogues
+//! (`paper_figures --dim 3`, FB-3D vs MFP-3D on a 32³ mesh) are the same
+//! code path with different registries. Around it sit the [`streaming`]
+//! execution mode that produces the Figure 9/10 MFP curves from *one*
+//! pass over each injection sequence via the incremental maintenance
+//! engine, the per-figure series extractors ([`fig9`], [`fig10`],
+//! [`fig11`]) over [`ScenarioResult`], sweep sizing ([`sweep`]),
+//! plain-text/CSV rendering ([`table`]), and the `paper_figures` binary
+//! that prints any figure from the command line.
 //! The Criterion benches in the `bench` crate reuse the same sweep code
 //! so the benchmarked work is exactly the reported work.
 
@@ -38,10 +38,11 @@ pub mod scenario;
 pub mod streaming;
 pub mod sweep;
 pub mod table;
-pub mod three_d;
 
-pub use scenario::{run_scenario, Metric, Scenario, ScenarioPoint, ScenarioResult};
+pub use scenario::{
+    paper_model_names, paper_model_names_3d, run_scenario, Metric, Scenario, ScenarioPoint,
+    ScenarioResult,
+};
 pub use streaming::{run_scenario_streaming, StreamingPoint, StreamingResult};
-pub use sweep::{run_sweep, ModelPoint, SweepConfig, SweepPoint, SweepResult};
+pub use sweep::{ModelPoint, SweepConfig};
 pub use table::{render_csv, render_table, Series};
-pub use three_d::{run_scenario_3d, Scenario3, Scenario3Point, Scenario3Result};

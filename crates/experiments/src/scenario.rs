@@ -1,31 +1,38 @@
-//! The scenario-driven sweep runner — one code path for every figure.
+//! The scenario-driven sweep runner — one code path for every figure in
+//! every dimension.
 //!
-//! A [`Scenario`] describes an experiment as data: mesh size, fault
-//! distribution and counts (from `faultgen`), the *names* of the models
-//! to run (resolved through a [`ModelRegistry`]), and how many seeded
-//! trials to average. [`run_scenario`] executes any scenario with the
-//! same trial-parallel loop, so reproducing a new figure — or adding a
-//! whole new fault model to every figure — is a one-line change: a new
-//! registry entry or a new name in [`Scenario::models`], not a new
-//! module.
+//! A [`Scenario`] describes an experiment as data: mesh side length,
+//! fault distribution and counts (from `faultgen`), the *names* of the
+//! models to run, and how many seeded trials to average. [`run_scenario`]
+//! executes any scenario with the same trial-parallel loop for **any**
+//! [`MeshTopology`]: pass `mocp_core::standard_registry()` and it sweeps
+//! the paper's 2-D models; pass `mocp_3d::standard_registry_3d()` and the
+//! identical code sweeps FB-3D/MFP-3D on a cubic mesh. Reproducing a new
+//! figure — or adding a whole new fault model or mesh dimension to every
+//! figure — is a registry entry or a trait impl, not a new runner.
 //!
 //! The paper's Figures 9–11 are the scenario built by
-//! [`Scenario::paper_figures`]; the legacy [`run_sweep`](crate::run_sweep)
-//! API is a thin adapter over this runner.
+//! [`Scenario::paper_figures`]; the 3-D Figure 9/10 analogues are
+//! [`Scenario::paper_figures_3d`], executed by the very same
+//! [`run_scenario`].
 
 use crate::sweep::{ModelPoint, SweepConfig};
 use crate::table::Series;
 use faultgen::{FaultDistribution, FaultInjector};
-use fblock::{BoxedModel, ModelRegistry, UnknownModel};
-use mesh2d::Mesh2D;
+use mocp_topology::{BoxedModel, MeshTopology, ModelRegistry, UnknownModel};
 use serde::{Deserialize, Serialize};
 
 /// A declarative description of one sweep experiment.
+///
+/// The description is dimension-agnostic: the same struct drives the 2-D
+/// and 3-D sweeps, and which dimension runs is decided by the registry
+/// handed to [`run_scenario`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Scenario {
     /// Human-readable name, used in reported series titles.
     pub name: String,
-    /// Mesh side length (the paper uses 100).
+    /// Mesh side length: an `n × n` mesh in 2-D (the paper uses 100), an
+    /// `n × n × n` mesh in 3-D (the analogue sweep uses 32).
     pub mesh_size: u32,
     /// Fault distribution model driving the injector.
     pub distribution: FaultDistribution,
@@ -71,6 +78,34 @@ impl Scenario {
         }
     }
 
+    /// The 3-D Figure 9/10 analogue sweep: a 32×32×32 mesh with 100..800
+    /// faults (the same absolute counts and base seed as the paper's 2-D
+    /// sweep), FB-3D vs MFP-3D, 3 trials. Run it with
+    /// `mocp_3d::standard_registry_3d()`.
+    pub fn paper_figures_3d(distribution: FaultDistribution) -> Self {
+        Scenario {
+            name: format!("3d-figures-{}", distribution.label()),
+            mesh_size: 32,
+            distribution,
+            fault_counts: (1..=8).map(|i| i * 100).collect(),
+            models: paper_model_names_3d(),
+            trials: 3,
+            base_seed: 2004,
+        }
+    }
+
+    /// A small 3-D configuration for smoke tests and CI: a 12³ mesh with
+    /// up to 80 faults.
+    pub fn quick_3d(distribution: FaultDistribution) -> Self {
+        Scenario {
+            name: format!("3d-quick-{}", distribution.label()),
+            mesh_size: 12,
+            fault_counts: vec![20, 40, 60, 80],
+            trials: 2,
+            ..Scenario::paper_figures_3d(distribution)
+        }
+    }
+
     /// Replaces the model list (builder style).
     pub fn with_models<S: Into<String>>(mut self, models: impl IntoIterator<Item = S>) -> Self {
         self.models = models.into_iter().map(Into::into).collect();
@@ -87,6 +122,11 @@ impl Scenario {
 /// The four models of the paper, in presentation order.
 pub fn paper_model_names() -> Vec<String> {
     ["FB", "FP", "CMFP", "DMFP"].map(String::from).to_vec()
+}
+
+/// The two 3-D models, in presentation order.
+pub fn paper_model_names_3d() -> Vec<String> {
+    ["FB3D", "MFP3D"].map(String::from).to_vec()
 }
 
 /// Which [`ModelPoint`] metric a figure plots.
@@ -130,7 +170,8 @@ pub struct ScenarioPoint {
     pub metrics: Vec<ModelPoint>,
 }
 
-/// The averaged outcome of running a scenario.
+/// The averaged outcome of running a scenario (in either dimension — the
+/// result shape is dimension-free).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScenarioResult {
     /// The scenario that was run.
@@ -174,9 +215,8 @@ impl ScenarioResult {
 }
 
 /// Spawns one scoped thread per trial and joins the results in trial
-/// order — the skeleton shared by the batch, streaming and 3-D sweep
-/// runners, so their deterministic trial-order averaging cannot drift
-/// apart.
+/// order — the skeleton shared by the batch and streaming runners, so
+/// their deterministic trial-order averaging cannot drift apart.
 pub(crate) fn run_trials<T: Send>(trials: u32, run: impl Fn(u32) -> T + Sync) -> Vec<T> {
     let run = &run;
     crossbeam::scope(|scope| {
@@ -194,10 +234,15 @@ pub(crate) fn run_trials<T: Send>(trials: u32, run: impl Fn(u32) -> T + Sync) ->
 /// Trials run on separate threads; the result is deterministic for a
 /// given scenario.
 ///
+/// This is the **only** sweep code path: the dimension is decided by the
+/// registry's topology parameter (`ModelRegistry<Mesh2D>` for the paper's
+/// figures, `ModelRegistry<Mesh3D>` for the 3-D analogues), and the mesh
+/// is the topology's square/cube of side [`Scenario::mesh_size`].
+///
 /// Fails fast with [`UnknownModel`] if any model name does not resolve —
 /// before any trial work starts.
-pub fn run_scenario(
-    registry: &ModelRegistry,
+pub fn run_scenario<T: MeshTopology>(
+    registry: &ModelRegistry<T>,
     scenario: &Scenario,
 ) -> Result<ScenarioResult, UnknownModel> {
     for name in &scenario.models {
@@ -238,9 +283,13 @@ pub fn run_scenario(
 
 /// One seeded pass over the fault counts: inject incrementally, run
 /// every model at each count.
-fn run_trial(registry: &ModelRegistry, scenario: &Scenario, trial: u32) -> Vec<ScenarioPoint> {
-    let mesh = Mesh2D::square(scenario.mesh_size);
-    let models: Vec<BoxedModel> = scenario
+fn run_trial<T: MeshTopology>(
+    registry: &ModelRegistry<T>,
+    scenario: &Scenario,
+    trial: u32,
+) -> Vec<ScenarioPoint> {
+    let mesh = T::from_side(scenario.mesh_size);
+    let models: Vec<BoxedModel<T>> = scenario
         .models
         .iter()
         .map(|name| {
@@ -274,7 +323,8 @@ mod tests {
     use super::*;
     use distsim::RoundStats;
     use fblock::{FaultModel, FaultyBlockModel, ModelOutcome};
-    use mesh2d::FaultSet;
+    use mesh2d::{FaultSet, Mesh2D};
+    use mocp_3d::standard_registry_3d;
 
     fn quick_scenario(models: &[&str]) -> Scenario {
         Scenario {
@@ -308,20 +358,69 @@ mod tests {
         assert_eq!(err.requested, "MFP");
     }
 
+    /// The one generic runner drives the 3-D registry with the identical
+    /// code path — and the 3-D MFP never disables more than FB-3D.
     #[test]
-    fn matches_the_legacy_sweep_for_the_paper_models() {
-        let config = SweepConfig::quick();
-        let registry = mocp_core::standard_registry();
-        let scenario = Scenario::paper_figures(&config, FaultDistribution::Random);
-        let result = run_scenario(&registry, &scenario).unwrap();
-        let sweep = crate::run_sweep(&config, FaultDistribution::Random);
-        for (sp, lp) in result.points.iter().zip(&sweep.points) {
-            assert_eq!(sp.fault_count, lp.fault_count);
-            assert_eq!(sp.metrics[0], lp.fb);
-            assert_eq!(sp.metrics[1], lp.fp);
-            assert_eq!(sp.metrics[2], lp.cmfp);
-            assert_eq!(sp.metrics[3], lp.dmfp);
+    fn same_runner_drives_the_3d_registry() {
+        let registry = standard_registry_3d();
+        for dist in FaultDistribution::ALL {
+            let result = run_scenario(&registry, &Scenario::quick_3d(dist)).unwrap();
+            assert_eq!(result.points.len(), 4);
+            for p in &result.points {
+                let (fb, mfp) = (
+                    p.metrics[0].disabled_nonfaulty,
+                    p.metrics[1].disabled_nonfaulty,
+                );
+                assert!(
+                    mfp <= fb + 1e-9,
+                    "{dist:?} @ {}: MFP3D {mfp} > FB3D {fb}",
+                    p.fault_count
+                );
+            }
         }
+    }
+
+    #[test]
+    fn three_d_series_have_one_column_per_model_and_one_row_per_count() {
+        let registry = standard_registry_3d();
+        let result =
+            run_scenario(&registry, &Scenario::quick_3d(FaultDistribution::Clustered)).unwrap();
+        let fig9 = result.series(Metric::DisabledNonfaulty);
+        let fig10 = result.series(Metric::AvgRegionSize);
+        assert_eq!(fig9.curves, vec!["FB3D", "MFP3D"]);
+        assert_eq!(fig9.rows.len(), 4);
+        assert_eq!(fig10.curves, vec!["FB3D", "MFP3D"]);
+        assert!(fig9.title.contains("disabled non-faulty"));
+        assert!(fig10.title.contains("avg region size"));
+        // Region sizes include the faults, so they are at least 1 once
+        // faults exist.
+        for (_, row) in &fig10.rows {
+            assert!(row.iter().all(|&v| v >= 1.0));
+        }
+    }
+
+    #[test]
+    fn unknown_model_fails_in_3d_too() {
+        let registry = standard_registry_3d();
+        let mut scenario = Scenario::quick_3d(FaultDistribution::Random);
+        scenario.models.push("CMFP".to_string());
+        let err = run_scenario(&registry, &scenario).unwrap_err();
+        assert_eq!(err.requested, "CMFP");
+    }
+
+    #[test]
+    fn deterministic_across_runs_in_both_dimensions() {
+        let registry = mocp_core::standard_registry();
+        let scenario = quick_scenario(&["FB", "CMFP"]);
+        let a = run_scenario(&registry, &scenario).unwrap();
+        let b = run_scenario(&registry, &scenario).unwrap();
+        assert_eq!(a.points, b.points);
+
+        let registry3 = standard_registry_3d();
+        let scenario3 = Scenario::quick_3d(FaultDistribution::Clustered);
+        let a3 = run_scenario(&registry3, &scenario3).unwrap();
+        let b3 = run_scenario(&registry3, &scenario3).unwrap();
+        assert_eq!(a3.points, b3.points);
     }
 
     #[test]

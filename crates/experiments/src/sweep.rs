@@ -1,15 +1,15 @@
-//! The fault-count sweep shared by every figure.
+//! Sweep sizing and the per-model metric point.
 //!
-//! Since the scenario refactor this module is the *presentation-shaped*
-//! view of the paper's standard sweep: [`run_sweep`] builds the
-//! four-model [`Scenario`], executes it through [`run_scenario`] with
-//! the standard model registry, and reshapes the result into the fixed
-//! FB/FP/CMFP/DMFP columns of [`SweepPoint`] that the figure extractors
-//! consume.
+//! The legacy `run_sweep` adapter (fixed FB/FP/CMFP/DMFP columns) is
+//! gone: every figure, bench and example now calls
+//! [`run_scenario`](crate::scenario::run_scenario) directly. What remains
+//! here is the *sizing* vocabulary shared by every sweep — [`SweepConfig`]
+//! (mesh side, fault counts, trials, base seed) and [`ModelPoint`] (the
+//! three Figure 9/10/11 metrics extracted from one construction outcome,
+//! in any dimension).
 
-use crate::scenario::{run_scenario, Scenario};
-use faultgen::FaultDistribution;
-use fblock::ModelOutcome;
+use fblock::Outcome;
+use mocp_topology::MeshTopology;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one sweep (one curve family of Figures 9–11).
@@ -69,8 +69,9 @@ pub struct ModelPoint {
 }
 
 impl ModelPoint {
-    /// Extracts the three figure metrics from one construction outcome.
-    pub fn from_outcome(outcome: &ModelOutcome) -> Self {
+    /// Extracts the three figure metrics from one construction outcome —
+    /// for any mesh topology, through the generic [`Outcome`].
+    pub fn from_outcome<T: MeshTopology>(outcome: &Outcome<T>) -> Self {
         ModelPoint {
             disabled_nonfaulty: outcome.disabled_nonfaulty() as f64,
             avg_region_size: outcome.average_region_size(),
@@ -91,72 +92,18 @@ impl ModelPoint {
     }
 }
 
-/// One x-axis point of the sweep: metrics of all four models at a given
-/// fault count, averaged over the trials.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct SweepPoint {
-    /// Number of faults injected.
-    pub fault_count: usize,
-    /// Rectangular faulty block metrics.
-    pub fb: ModelPoint,
-    /// Sub-minimum faulty polygon metrics.
-    pub fp: ModelPoint,
-    /// Centralized minimum faulty polygon metrics.
-    pub cmfp: ModelPoint,
-    /// Distributed minimum faulty polygon metrics.
-    pub dmfp: ModelPoint,
-}
-
-/// A full sweep under one fault distribution.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct SweepResult {
-    /// The fault distribution that produced the curves.
-    pub distribution: FaultDistribution,
-    /// The configuration used.
-    pub config: SweepConfig,
-    /// One entry per fault count, in ascending order.
-    pub points: Vec<SweepPoint>,
-}
-
-/// Runs the paper's standard four-model sweep, averaging over
-/// `config.trials` independent fault sequences.
-///
-/// This is a compatibility adapter: the actual execution is the
-/// scenario runner ([`run_scenario`]) with the models FB, FP, CMFP and
-/// DMFP resolved by name through [`mocp_core::standard_registry`].
-pub fn run_sweep(config: &SweepConfig, distribution: FaultDistribution) -> SweepResult {
-    let registry = mocp_core::standard_registry();
-    let scenario = Scenario::paper_figures(config, distribution);
-    let result = run_scenario(&registry, &scenario)
-        .expect("the standard registry provides every paper model");
-
-    let points = result
-        .points
-        .iter()
-        .map(|p| SweepPoint {
-            fault_count: p.fault_count,
-            fb: p.metrics[0],
-            fp: p.metrics[1],
-            cmfp: p.metrics[2],
-            dmfp: p.metrics[3],
-        })
-        .collect();
-
-    SweepResult {
-        distribution,
-        config: config.clone(),
-        points,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{run_scenario, Scenario};
+    use faultgen::FaultDistribution;
 
     #[test]
     fn quick_sweep_produces_one_point_per_count() {
         let config = SweepConfig::quick();
-        let result = run_sweep(&config, FaultDistribution::Random);
+        let registry = mocp_core::standard_registry();
+        let scenario = Scenario::paper_figures(&config, FaultDistribution::Random);
+        let result = run_scenario(&registry, &scenario).unwrap();
         assert_eq!(result.points.len(), config.fault_counts.len());
         for (p, &count) in result.points.iter().zip(&config.fault_counts) {
             assert_eq!(p.fault_count, count);
@@ -168,42 +115,33 @@ mod tests {
         // MFP disables no more healthy nodes than FP, which disables no more
         // than FB; the centralized and distributed MFP agree.
         let config = SweepConfig::quick();
+        let registry = mocp_core::standard_registry();
         for dist in FaultDistribution::ALL {
-            let result = run_sweep(&config, dist);
+            let result = run_scenario(&registry, &Scenario::paper_figures(&config, dist)).unwrap();
             for p in &result.points {
+                let [fb, fp, cmfp, dmfp] =
+                    [&p.metrics[0], &p.metrics[1], &p.metrics[2], &p.metrics[3]];
                 assert!(
-                    p.cmfp.disabled_nonfaulty <= p.fp.disabled_nonfaulty + 1e-9,
+                    cmfp.disabled_nonfaulty <= fp.disabled_nonfaulty + 1e-9,
                     "{dist:?}"
                 );
                 assert!(
-                    p.fp.disabled_nonfaulty <= p.fb.disabled_nonfaulty + 1e-9,
+                    fp.disabled_nonfaulty <= fb.disabled_nonfaulty + 1e-9,
                     "{dist:?}"
                 );
-                assert!((p.cmfp.disabled_nonfaulty - p.dmfp.disabled_nonfaulty).abs() < 1e-9);
-                assert!(p.fp.rounds >= p.fb.rounds, "FP adds scheme-2 rounds");
+                assert!((cmfp.disabled_nonfaulty - dmfp.disabled_nonfaulty).abs() < 1e-9);
+                assert!(fp.rounds >= fb.rounds, "FP adds scheme-2 rounds");
             }
         }
     }
 
     #[test]
-    fn sweep_is_deterministic() {
-        let config = SweepConfig {
-            mesh_size: 20,
-            fault_counts: vec![15, 30],
-            trials: 2,
-            base_seed: 99,
-        };
-        let a = run_sweep(&config, FaultDistribution::Clustered);
-        let b = run_sweep(&config, FaultDistribution::Clustered);
-        assert_eq!(a.points, b.points);
-    }
-
-    #[test]
     fn disabled_nodes_grow_with_fault_count() {
-        let config = SweepConfig::quick();
-        let result = run_sweep(&config, FaultDistribution::Clustered);
+        let registry = mocp_core::standard_registry();
+        let scenario = Scenario::paper_figures(&SweepConfig::quick(), FaultDistribution::Clustered);
+        let result = run_scenario(&registry, &scenario).unwrap();
         let first = result.points.first().unwrap();
         let last = result.points.last().unwrap();
-        assert!(last.fb.disabled_nonfaulty >= first.fb.disabled_nonfaulty);
+        assert!(last.metrics[0].disabled_nonfaulty >= first.metrics[0].disabled_nonfaulty);
     }
 }

@@ -1,18 +1,34 @@
-//! Sequential fault injection under the paper's two distribution models.
+//! Sequential fault injection under the paper's two distribution models,
+//! generic over the mesh topology.
+//!
+//! One [`FaultInjector`] drives every dimension: the topology supplies
+//! dense node indexing (for the flat [`WeightTable`] sampling core) and
+//! the cluster neighborhood (whose failure rate the clustered model
+//! doubles), and the injector supplies the seeded draw / boost / undo
+//! loop. The 2-D injector is `FaultInjector<Mesh2D>` (the default, so
+//! existing code reads unchanged) and the 3-D injector is
+//! `mocp_3d::FaultInjector3 = FaultInjector<Mesh3D>` — the same code
+//! path, byte-for-byte identical fault sequences for equal seeds.
 
 use crate::weights::{DrawRecord, WeightTable};
-use mesh2d::{Coord, FaultEvent, FaultSet, Mesh2D};
+use mesh2d::{FaultEvent, Mesh2D};
+use mocp_topology::{FaultStore, MeshTopology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Which of the paper's two fault distribution models to use.
+///
+/// The enum is shared by every dimension — 2-D and 3-D sweeps spell their
+/// `--distribution` flags and series labels identically — and only the
+/// meaning of *adjacent* (the topology's cluster neighborhood) differs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum FaultDistribution {
     /// Every healthy node is equally likely to fail next.
     Random,
-    /// Healthy nodes adjacent (8-neighborhood) to an existing fault fail with
-    /// twice the base rate, so faults tend to form clusters.
+    /// Healthy nodes adjacent (the topology's cluster neighborhood: 8
+    /// neighbors in 2-D, 26 in 3-D) to an existing fault fail with twice
+    /// the base rate, so faults tend to form clusters.
     Clustered,
 }
 
@@ -28,6 +44,15 @@ impl FaultDistribution {
             FaultDistribution::Clustered => "clustered",
         }
     }
+
+    /// Parses a [`label`](Self::label) (ASCII case-insensitive) back into
+    /// the distribution — the single parser every CLI flag goes through,
+    /// so the spelling is identical across dimensions.
+    pub fn from_label(label: &str) -> Option<FaultDistribution> {
+        FaultDistribution::ALL
+            .into_iter()
+            .find(|d| d.label().eq_ignore_ascii_case(label))
+    }
 }
 
 /// A rewind point of a [`FaultInjector`]: the fault sequence injected so
@@ -37,15 +62,15 @@ impl FaultDistribution {
 /// injecting again reproduces the same continuation — the property bisection
 /// debugging and repair scenarios rely on.
 #[derive(Clone, Debug)]
-pub struct InjectorSnapshot {
+pub struct InjectorSnapshot<T: MeshTopology = Mesh2D> {
     /// The faults present when the snapshot was taken, in insertion order —
     /// both the rewind target and the proof the snapshot belongs to the
     /// injector's current history.
-    prefix: Vec<Coord>,
+    prefix: Vec<T::Coord>,
     rng: StdRng,
 }
 
-impl InjectorSnapshot {
+impl<T: MeshTopology> InjectorSnapshot<T> {
     /// Number of faults present when the snapshot was taken.
     pub fn len(&self) -> usize {
         self.prefix.len()
@@ -57,7 +82,7 @@ impl InjectorSnapshot {
     }
 }
 
-/// Incremental, seeded fault injector.
+/// Incremental, seeded fault injector for any [`MeshTopology`].
 ///
 /// Faults are added one at a time, which matches the paper's "all faults are
 /// sequentially added to the network" and lets a single injector serve a
@@ -70,48 +95,35 @@ impl InjectorSnapshot {
 /// bookkeeping restored exactly — the building blocks of repair scenarios
 /// and bisection debugging.
 #[derive(Clone, Debug)]
-pub struct FaultInjector {
-    mesh: Mesh2D,
+pub struct FaultInjector<T: MeshTopology = Mesh2D> {
+    mesh: T,
     distribution: FaultDistribution,
     rng: StdRng,
-    faults: FaultSet,
+    faults: T::FaultSet,
     /// Relative failure weight per node (1 base rate, 2 once adjacent to a
     /// fault under the clustered model, 0 once faulty), kept by the
-    /// dimension-generic sampling core shared with the 3-D injector. Nodes
-    /// are flattened row-major (`y * width + x`).
+    /// dimension-generic sampling core. Nodes are flattened through
+    /// [`MeshTopology::index`].
     weights: WeightTable,
     /// One record per injection, in order; popped by `undo_last`.
     log: Vec<DrawRecord>,
 }
 
-impl FaultInjector {
+impl<T: MeshTopology> FaultInjector<T> {
     /// Creates an injector for `mesh` with the given model and RNG seed.
-    pub fn new(mesh: Mesh2D, distribution: FaultDistribution, seed: u64) -> Self {
+    pub fn new(mesh: T, distribution: FaultDistribution, seed: u64) -> Self {
         FaultInjector {
             mesh,
             distribution,
             rng: StdRng::seed_from_u64(seed),
-            faults: FaultSet::new(mesh),
+            faults: T::FaultSet::empty(mesh),
             weights: WeightTable::uniform(mesh.node_count()),
             log: Vec::new(),
         }
     }
 
-    /// Flattens a mesh coordinate to its row-major sampling-core index.
-    #[inline]
-    fn node_index(&self, c: Coord) -> usize {
-        (c.y as usize) * (self.mesh.width() as usize) + c.x as usize
-    }
-
-    /// Inverse of [`node_index`](Self::node_index).
-    #[inline]
-    fn node_at(&self, index: usize) -> Coord {
-        let w = self.mesh.width() as usize;
-        Coord::new((index % w) as i32, (index / w) as i32)
-    }
-
     /// The mesh being injected into.
-    pub fn mesh(&self) -> &Mesh2D {
+    pub fn mesh(&self) -> &T {
         &self.mesh
     }
 
@@ -121,7 +133,7 @@ impl FaultInjector {
     }
 
     /// The faults injected so far.
-    pub fn faults(&self) -> &FaultSet {
+    pub fn faults(&self) -> &T::FaultSet {
         &self.faults
     }
 
@@ -137,12 +149,12 @@ impl FaultInjector {
 
     /// Injects one more fault and returns its position, or `None` when every
     /// node has already failed.
-    pub fn inject_one(&mut self) -> Option<Coord> {
+    pub fn inject_one(&mut self) -> Option<T::Coord> {
         if self.weights.total() == 0 {
             return None;
         }
         let target = self.rng.gen_range(0..self.weights.total());
-        let victim = self.node_at(self.weights.locate(target)?);
+        let victim = self.mesh.coord(self.weights.locate(target)?);
         self.mark_faulty(victim);
         Some(victim)
     }
@@ -158,17 +170,21 @@ impl FaultInjector {
         self.faults.len()
     }
 
-    fn mark_faulty(&mut self, victim: Coord) {
-        debug_assert!(!self.faults.is_faulty(victim));
-        self.faults.insert(victim);
-        let mesh = self.mesh;
-        let victim_index = self.node_index(victim);
-        // The shared core does the zero/boost/undo bookkeeping; this injector
-        // only decides what "adjacent" means (the 8-neighborhood).
+    fn mark_faulty(&mut self, victim: T::Coord) {
+        let newly_faulty = self.faults.insert(victim);
+        // A failed insert would desynchronize the undo log from the fault
+        // set (locate() must never return a zero-weight node).
+        debug_assert!(newly_faulty, "{victim:?} is already faulty");
+        let victim_index = self.mesh.index(victim);
+        // The shared core does the zero/boost/undo bookkeeping; the
+        // topology only decides what "adjacent" means (8-neighborhood in
+        // 2-D, 26-neighborhood in 3-D).
         let record = if self.distribution == FaultDistribution::Clustered {
-            let neighbors: Vec<usize> = mesh
-                .neighbors8(victim)
-                .map(|n| self.node_index(n))
+            let neighbors: Vec<usize> = self
+                .mesh
+                .cluster_neighbors(victim)
+                .into_iter()
+                .map(|n| self.mesh.index(n))
                 .collect();
             self.weights.mark_faulty(victim_index, neighbors)
         } else {
@@ -185,9 +201,9 @@ impl FaultInjector {
     /// The RNG is **not** rewound — use [`snapshot`](Self::snapshot) /
     /// [`restore`](Self::restore) when the continuation must replay
     /// identically.
-    pub fn undo_last(&mut self) -> Option<FaultEvent> {
+    pub fn undo_last(&mut self) -> Option<FaultEvent<T::Coord>> {
         let record = self.log.pop()?;
-        let victim = self.node_at(record.victim());
+        let victim = self.mesh.coord(record.victim());
         self.weights.undo(record);
         self.faults.remove(victim);
         Some(FaultEvent::Repair(victim))
@@ -195,7 +211,7 @@ impl FaultInjector {
 
     /// Captures the injector's current state (fault sequence + RNG state) as
     /// a rewind point for [`restore`](Self::restore).
-    pub fn snapshot(&self) -> InjectorSnapshot {
+    pub fn snapshot(&self) -> InjectorSnapshot<T> {
         InjectorSnapshot {
             prefix: self.faults.in_insertion_order().to_vec(),
             rng: self.rng.clone(),
@@ -209,7 +225,7 @@ impl FaultInjector {
     /// this injector's current history: taken ahead of the current state, or
     /// taken before the history diverged (e.g. by `undo_last` followed by
     /// fresh injections, which draw from an un-rewound RNG).
-    pub fn restore(&mut self, snapshot: &InjectorSnapshot) -> Option<Vec<FaultEvent>> {
+    pub fn restore(&mut self, snapshot: &InjectorSnapshot<T>) -> Option<Vec<FaultEvent<T::Coord>>> {
         let order = self.faults.in_insertion_order();
         if !order.starts_with(&snapshot.prefix) {
             return None;
@@ -226,7 +242,7 @@ impl FaultInjector {
     /// events — the adapter that feeds an injector into an event-driven
     /// consumer (e.g. `mocp_incremental`'s engine). The stream ends early
     /// when the mesh is exhausted.
-    pub fn event_stream(&mut self, count: usize) -> EventStream<'_> {
+    pub fn event_stream(&mut self, count: usize) -> EventStream<'_, T> {
         EventStream {
             injector: self,
             remaining: count,
@@ -237,15 +253,15 @@ impl FaultInjector {
 /// Iterator returned by [`FaultInjector::event_stream`]: each `next` injects
 /// one fault and yields it as an event.
 #[derive(Debug)]
-pub struct EventStream<'a> {
-    injector: &'a mut FaultInjector,
+pub struct EventStream<'a, T: MeshTopology = Mesh2D> {
+    injector: &'a mut FaultInjector<T>,
     remaining: usize,
 }
 
-impl Iterator for EventStream<'_> {
-    type Item = FaultEvent;
+impl<T: MeshTopology> Iterator for EventStream<'_, T> {
+    type Item = FaultEvent<T::Coord>;
 
-    fn next(&mut self) -> Option<FaultEvent> {
+    fn next(&mut self) -> Option<FaultEvent<T::Coord>> {
         if self.remaining == 0 {
             return None;
         }
@@ -258,13 +274,15 @@ impl Iterator for EventStream<'_> {
     }
 }
 
-/// Convenience wrapper: generates `count` faults in one call.
-pub fn generate_faults(
-    mesh: Mesh2D,
+/// Convenience wrapper: generates `count` faults in one call, for any
+/// topology (`generate_faults(Mesh2D::square(..), ..)` returns a 2-D
+/// `FaultSet`; `mocp_3d::generate_faults_3d` delegates here with `Mesh3D`).
+pub fn generate_faults<T: MeshTopology>(
+    mesh: T,
     count: usize,
     distribution: FaultDistribution,
     seed: u64,
-) -> FaultSet {
+) -> T::FaultSet {
     let mut inj = FaultInjector::new(mesh, distribution, seed);
     inj.inject_up_to(count);
     inj.faults().clone()
@@ -472,8 +490,16 @@ mod tests {
     }
 
     #[test]
-    fn labels() {
+    fn labels_round_trip_through_the_shared_parser() {
         assert_eq!(FaultDistribution::Random.label(), "random");
         assert_eq!(FaultDistribution::Clustered.label(), "clustered");
+        for dist in FaultDistribution::ALL {
+            assert_eq!(FaultDistribution::from_label(dist.label()), Some(dist));
+        }
+        assert_eq!(
+            FaultDistribution::from_label("CLUSTERED"),
+            Some(FaultDistribution::Clustered)
+        );
+        assert_eq!(FaultDistribution::from_label("poisson"), None);
     }
 }

@@ -16,6 +16,12 @@
 //! fault sequence when sweeping the fault count), and a library of small
 //! hand-built [`scenario`]s lifted from the paper's figures for tests and
 //! examples.
+//!
+//! Since the `mocp_topology` redesign the injector is **generic over the
+//! mesh topology**: `FaultInjector<Mesh2D>` (the default) and
+//! `FaultInjector<Mesh3D>` are the same seeded draw / boost / undo loop
+//! over the same [`WeightTable`]; only the topology's cluster
+//! neighborhood — what "adjacent" means to the clustered model — differs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

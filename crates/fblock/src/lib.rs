@@ -16,11 +16,12 @@
 //! of the `distsim` crate so that the round counts reported in Figure 11 fall
 //! out of the construction itself.
 //!
-//! The crate also defines the [`FaultModel`] trait and its [`ModelOutcome`],
-//! the uniform interface through which the experiment harness drives FB, FP
-//! and (from the `mocp-core` crate) the minimum-polygon constructions, and
-//! the [`ModelRegistry`] that resolves models by name so sweeps can be
-//! described as data ([`ModelRegistry::baseline`] registers FB and FP;
+//! The crate also re-exports the dimension-generic [`FaultModel`] trait
+//! from `mocp_topology` (its topology parameter defaults to `Mesh2D`, so
+//! 2-D model impls read unchanged) together with the 2-D [`ModelOutcome`]
+//! alias of the generic `Outcome`, and pins the generic name-keyed
+//! registry to 2-D as [`ModelRegistry`] so sweeps can be described as
+//! data ([`baseline_registry`] registers FB and FP;
 //! `mocp_core::standard_registry()` adds CMFP and DMFP).
 
 #![warn(missing_docs)]
@@ -33,7 +34,7 @@ pub mod scheme1;
 pub mod scheme2;
 
 pub use blocks::{extract_faulty_blocks, FaultyBlockModel};
-pub use model::{FaultModel, ModelOutcome};
-pub use registry::{BoxedModel, ModelRegistry, NamedRegistry, UnknownModel};
+pub use model::{FaultModel, ModelOutcome, Outcome};
+pub use registry::{baseline_registry, BoxedModel, ModelRegistry, NamedRegistry, UnknownModel};
 pub use scheme1::label_safety;
 pub use scheme2::{label_activation, SubMinimumPolygonModel};

@@ -1,150 +1,51 @@
 //! The uniform fault-model interface used by the experiment harness.
+//!
+//! Since the `mocp_topology` redesign the trait and the outcome are
+//! *dimension-generic*: [`FaultModel`] is `mocp_topology::FaultModel`
+//! (whose topology parameter defaults to [`Mesh2D`], so the 2-D model
+//! impls in this crate read unchanged) and [`ModelOutcome`] is the 2-D
+//! instantiation of the one generic [`Outcome`] — the Figure 9/10 metrics
+//! and safety predicates (`covers_all_faults`, `all_regions_convex`,
+//! `regions_disjoint`) are written once in `mocp_topology` and shared
+//! with the 3-D stack instead of being duplicated per dimension.
 
-use distsim::RoundStats;
-use mesh2d::{Connectivity, FaultSet, Mesh2D, Region, StatusMap};
-use serde::{Deserialize, Serialize};
+use mesh2d::Mesh2D;
 
-/// The outcome of running a fault-model construction on a faulty mesh.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ModelOutcome {
-    /// Short model name ("FB", "FP", "CMFP", "DMFP").
-    pub model: String,
-    /// Final status of every node (faulty / disabled / enabled).
-    pub status: StatusMap,
-    /// The fault regions (blocks or polygons) the model produced, i.e. the
-    /// connected excluded areas messages must route around.
-    pub regions: Vec<Region>,
-    /// Rounds of neighbor information exchange the construction needed.
-    pub rounds: RoundStats,
-}
+pub use mocp_topology::{FaultModel, Outcome};
 
-impl ModelOutcome {
-    /// Number of non-faulty nodes the model disables — the paper's Figure 9
-    /// metric.
-    pub fn disabled_nonfaulty(&self) -> usize {
-        self.status.disabled_count()
-    }
-
-    /// Number of faulty nodes covered.
-    pub fn faulty_count(&self) -> usize {
-        self.status.faulty_count()
-    }
-
-    /// Average number of nodes (faulty + disabled) per region — the paper's
-    /// Figure 10 metric. Zero when there are no regions.
-    pub fn average_region_size(&self) -> f64 {
-        if self.regions.is_empty() {
-            0.0
-        } else {
-            let total: usize = self.regions.iter().map(Region::len).sum();
-            total as f64 / self.regions.len() as f64
-        }
-    }
-
-    /// Checks the fundamental safety property shared by every model: each
-    /// produced region covers only excluded nodes, every faulty node is
-    /// covered by some region, and regions are pairwise disjoint.
-    pub fn covers_all_faults(&self) -> bool {
-        let faults = self.status.faulty_region();
-        let union = self
-            .regions
-            .iter()
-            .fold(Region::new(), |acc, r| acc.union(r));
-        faults.is_subset(&union)
-    }
-
-    /// True when every produced region is orthogonally convex (Definition 1).
-    pub fn all_regions_convex(&self) -> bool {
-        self.regions.iter().all(Region::is_orthogonally_convex)
-    }
-
-    /// True when the produced regions are pairwise disjoint.
-    pub fn regions_disjoint(&self) -> bool {
-        for (i, a) in self.regions.iter().enumerate() {
-            for b in &self.regions[i + 1..] {
-                if !a.is_disjoint(b) {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    /// Splits the excluded node set into its 4-connected regions. Used by
-    /// models whose construction produces a status map first and regions
-    /// second.
-    pub fn regions_from_status(status: &StatusMap) -> Vec<Region> {
-        status.excluded_region().components(Connectivity::Four)
-    }
-}
-
-/// A fault-model construction: given the mesh and the faults, decide which
-/// non-faulty nodes must be disabled so that the excluded regions have the
-/// shape the model promises (rectangles for FB, orthogonal convex polygons
-/// for FP / MFP).
-pub trait FaultModel {
-    /// Short display name ("FB", "FP", "CMFP", "DMFP").
-    fn name(&self) -> &'static str;
-
-    /// Runs the construction.
-    fn construct(&self, mesh: &Mesh2D, faults: &FaultSet) -> ModelOutcome;
-}
+/// The outcome of running a fault-model construction on a 2-D faulty
+/// mesh: the `Mesh2D` instantiation of the generic
+/// [`Outcome`]. `mocp_3d::Outcome3` is the same
+/// type instantiated at `Mesh3D`.
+pub type ModelOutcome = Outcome<Mesh2D>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh2d::{Coord, NodeStatus};
+    use distsim::RoundStats;
+    use mesh2d::{Coord, NodeStatus, Region, StatusMap};
 
-    fn outcome_with(regions: Vec<Region>, status: StatusMap) -> ModelOutcome {
-        ModelOutcome {
-            model: "test".to_string(),
-            status,
-            regions,
-            rounds: RoundStats::quiescent(),
-        }
-    }
-
+    /// The 2-D alias exposes the generic metrics and predicates exactly as
+    /// the pre-redesign hand-written impl block did.
     #[test]
-    fn average_region_size_handles_empty() {
-        let mesh = Mesh2D::square(4);
-        let o = outcome_with(vec![], StatusMap::all_enabled(&mesh));
-        assert_eq!(o.average_region_size(), 0.0);
-        assert_eq!(o.disabled_nonfaulty(), 0);
-        assert!(o.covers_all_faults());
-        assert!(o.all_regions_convex());
-        assert!(o.regions_disjoint());
-    }
-
-    #[test]
-    fn metrics_reflect_status_map() {
+    fn alias_carries_the_generic_metrics() {
         let mesh = Mesh2D::square(4);
         let mut status = StatusMap::all_enabled(&mesh);
         status.set(Coord::new(0, 0), NodeStatus::Faulty);
         status.set(Coord::new(1, 0), NodeStatus::Disabled);
         let region = Region::from_coords([Coord::new(0, 0), Coord::new(1, 0)]);
-        let o = outcome_with(vec![region], status);
+        let o = ModelOutcome {
+            model: "test".to_string(),
+            status,
+            regions: vec![region],
+            rounds: RoundStats::quiescent(),
+        };
         assert_eq!(o.disabled_nonfaulty(), 1);
         assert_eq!(o.faulty_count(), 1);
         assert_eq!(o.average_region_size(), 2.0);
         assert!(o.covers_all_faults());
-    }
-
-    #[test]
-    fn covers_all_faults_detects_missing_fault() {
-        let mesh = Mesh2D::square(4);
-        let mut status = StatusMap::all_enabled(&mesh);
-        status.set(Coord::new(3, 3), NodeStatus::Faulty);
-        let o = outcome_with(vec![], status);
-        assert!(!o.covers_all_faults());
-    }
-
-    #[test]
-    fn overlapping_regions_detected() {
-        let mesh = Mesh2D::square(4);
-        let a = Region::from_coords([Coord::new(0, 0), Coord::new(1, 0)]);
-        let b = Region::from_coords([Coord::new(1, 0)]);
-        let o = outcome_with(vec![a, b], StatusMap::all_enabled(&mesh));
-        assert!(!o.regions_disjoint());
+        assert!(o.all_regions_convex());
+        assert!(o.regions_disjoint());
     }
 
     #[test]

@@ -1,194 +1,54 @@
-//! Name-keyed registry of fault-model constructors.
+//! The 2-D instantiation of the name-keyed model registry.
 //!
-//! The experiment harness, the benches and the examples all need to turn
-//! a model *name* ("FB", "FP", "CMFP", "DMFP") into a ready-to-run
-//! [`FaultModel`]. Before this registry existed every figure module and
-//! bench wired the four constructors by hand; now a scenario lists model
-//! names and resolves them through one [`ModelRegistry`], so adding a
-//! model to every sweep is a single [`ModelRegistry::register`] call.
+//! The registry machinery — name → boxed-constructor entries with
+//! case-insensitive lookup and registration order — lives in
+//! `mocp_topology` as the generic [`NamedRegistry`], keyed by the
+//! dimension-generic `dyn FaultModel<T>`. This module pins it to the 2-D
+//! mesh: [`ModelRegistry`] is `mocp_topology::ModelRegistry<Mesh2D>`,
+//! the exact same type the 3-D stack instantiates as
+//! `mocp_3d::ModelRegistry3 = ModelRegistry<Mesh3D>`.
 //!
-//! The registry machinery itself — name → boxed-constructor entries with
-//! case-insensitive lookup and registration order — is independent of
-//! *which* model trait is being constructed, so it is provided as the
-//! generic [`NamedRegistry`]. [`ModelRegistry`] instantiates it for the
-//! 2-D [`FaultModel`]; the `mocp_3d` crate instantiates the same type for
-//! its 3-D model trait, so both dimensions share one registry pattern.
-//!
-//! `fblock` registers its own two models in [`ModelRegistry::baseline`];
-//! the `mocp_core` crate (which depends on this one) extends that with
-//! the centralized and distributed minimum-polygon models in its
+//! `fblock` registers its own two models in [`baseline_registry`]; the
+//! `mocp_core` crate (which depends on this one) extends that with the
+//! centralized and distributed minimum-polygon models in its
 //! `standard_registry()`.
 
-use crate::model::{FaultModel, ModelOutcome};
-use mesh2d::{FaultSet, Mesh2D};
-use std::fmt;
+use mesh2d::Mesh2D;
 
-/// A boxed, thread-shareable fault model, as produced by the registry.
-pub type BoxedModel = Box<dyn FaultModel + Send + Sync>;
+pub use mocp_topology::{NamedRegistry, UnknownModel};
 
-/// One registered model: its name, a one-line description, and the
-/// factory producing fresh instances.
-struct ModelEntry<M: ?Sized> {
-    name: &'static str,
-    description: &'static str,
-    factory: Box<dyn Fn() -> Box<M> + Send + Sync>,
+/// A boxed, thread-shareable 2-D fault model, as produced by the registry.
+pub type BoxedModel = mocp_topology::BoxedModel<Mesh2D>;
+
+/// The registry of 2-D [`FaultModel`](crate::FaultModel) constructors
+/// used throughout the experiment harness.
+pub type ModelRegistry = mocp_topology::ModelRegistry<Mesh2D>;
+
+/// The registry of models this crate provides: the rectangular faulty
+/// block (FB) and the sub-minimum faulty polygon (FP).
+pub fn baseline_registry() -> ModelRegistry {
+    let mut registry = ModelRegistry::empty();
+    registry.register(
+        "FB",
+        "rectangular faulty block (labelling scheme 1)",
+        || Box::new(crate::FaultyBlockModel),
+    );
+    registry.register(
+        "FP",
+        "sub-minimum faulty polygon (labelling schemes 1+2, Wu IPDPS 2001)",
+        || Box::new(crate::SubMinimumPolygonModel),
+    );
+    registry
 }
-
-/// Registry mapping names to boxed constructors of some model trait `M`
-/// (a `dyn Trait + Send + Sync` type in practice).
-///
-/// Lookup is case-insensitive (ASCII) so CLI flags like `--models fb,fp`
-/// resolve; registered names keep their canonical spelling and
-/// registration order, which is the order sweeps report them in.
-pub struct NamedRegistry<M: ?Sized> {
-    entries: Vec<ModelEntry<M>>,
-}
-
-/// The registry of 2-D [`FaultModel`] constructors used throughout the
-/// experiment harness.
-pub type ModelRegistry = NamedRegistry<dyn FaultModel + Send + Sync>;
-
-impl<M: ?Sized> Default for NamedRegistry<M> {
-    fn default() -> Self {
-        NamedRegistry {
-            entries: Vec::new(),
-        }
-    }
-}
-
-impl<M: ?Sized> NamedRegistry<M> {
-    /// An empty registry.
-    pub fn empty() -> Self {
-        NamedRegistry::default()
-    }
-
-    /// Registers a model under `name`. Panics if the name (ignoring ASCII
-    /// case) is already taken — duplicate registrations are programming
-    /// errors, not runtime conditions.
-    pub fn register(
-        &mut self,
-        name: &'static str,
-        description: &'static str,
-        factory: impl Fn() -> Box<M> + Send + Sync + 'static,
-    ) {
-        assert!(!self.contains(name), "model {name:?} is already registered");
-        self.entries.push(ModelEntry {
-            name,
-            description,
-            factory: Box::new(factory),
-        });
-    }
-
-    fn entry(&self, name: &str) -> Option<&ModelEntry<M>> {
-        self.entries
-            .iter()
-            .find(|e| e.name.eq_ignore_ascii_case(name))
-    }
-
-    /// True when `name` resolves to a registered model.
-    pub fn contains(&self, name: &str) -> bool {
-        self.entry(name).is_some()
-    }
-
-    /// Builds a fresh instance of the named model.
-    pub fn build(&self, name: &str) -> Result<Box<M>, UnknownModel> {
-        match self.entry(name) {
-            Some(entry) => Ok((entry.factory)()),
-            None => Err(UnknownModel {
-                requested: name.to_string(),
-                known: self.names().collect(),
-            }),
-        }
-    }
-
-    /// Canonical model names, in registration order.
-    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
-        self.entries.iter().map(|e| e.name)
-    }
-
-    /// `(name, description)` pairs, in registration order.
-    pub fn descriptions(&self) -> impl Iterator<Item = (&'static str, &'static str)> + '_ {
-        self.entries.iter().map(|e| (e.name, e.description))
-    }
-
-    /// Number of registered models.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// True when nothing is registered.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-}
-
-impl ModelRegistry {
-    /// The registry of models this crate provides: the rectangular
-    /// faulty block (FB) and the sub-minimum faulty polygon (FP).
-    pub fn baseline() -> Self {
-        let mut registry = ModelRegistry::empty();
-        registry.register(
-            "FB",
-            "rectangular faulty block (labelling scheme 1)",
-            || Box::new(crate::FaultyBlockModel),
-        );
-        registry.register(
-            "FP",
-            "sub-minimum faulty polygon (labelling schemes 1+2, Wu IPDPS 2001)",
-            || Box::new(crate::SubMinimumPolygonModel),
-        );
-        registry
-    }
-
-    /// Resolves `name` and runs its construction in one call.
-    pub fn construct(
-        &self,
-        name: &str,
-        mesh: &Mesh2D,
-        faults: &FaultSet,
-    ) -> Result<ModelOutcome, UnknownModel> {
-        Ok(self.build(name)?.construct(mesh, faults))
-    }
-}
-
-impl<M: ?Sized> fmt::Debug for NamedRegistry<M> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NamedRegistry")
-            .field("models", &self.names().collect::<Vec<_>>())
-            .finish()
-    }
-}
-
-/// Error returned when a model name does not resolve.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct UnknownModel {
-    /// The name that failed to resolve.
-    pub requested: String,
-    /// The names that would have resolved, in registration order.
-    pub known: Vec<&'static str>,
-}
-
-impl fmt::Display for UnknownModel {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown fault model {:?} (known models: {})",
-            self.requested,
-            self.known.join(", ")
-        )
-    }
-}
-
-impl std::error::Error for UnknownModel {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh2d::Coord;
+    use mesh2d::{Coord, FaultSet};
 
     #[test]
     fn baseline_has_fb_and_fp_in_order() {
-        let registry = ModelRegistry::baseline();
+        let registry = baseline_registry();
         assert_eq!(registry.names().collect::<Vec<_>>(), ["FB", "FP"]);
         assert_eq!(registry.len(), 2);
         assert!(!registry.is_empty());
@@ -196,14 +56,14 @@ mod tests {
 
     #[test]
     fn lookup_is_case_insensitive_but_names_stay_canonical() {
-        let registry = ModelRegistry::baseline();
+        let registry = baseline_registry();
         assert!(registry.contains("fb"));
         assert_eq!(registry.build("fp").unwrap().name(), "FP");
     }
 
     #[test]
     fn unknown_name_reports_the_known_models() {
-        let registry = ModelRegistry::baseline();
+        let registry = baseline_registry();
         let err = match registry.build("MFP?") {
             Ok(model) => panic!("{:?} should not resolve", model.name()),
             Err(err) => err,
@@ -216,7 +76,7 @@ mod tests {
 
     #[test]
     fn construct_runs_the_resolved_model() {
-        let registry = ModelRegistry::baseline();
+        let registry = baseline_registry();
         let mesh = Mesh2D::square(6);
         let faults = FaultSet::from_coords(mesh, [Coord::new(1, 1), Coord::new(2, 2)]);
         let outcome = registry.construct("FB", &mesh, &faults).unwrap();
@@ -229,7 +89,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "already registered")]
     fn duplicate_registration_panics() {
-        let mut registry = ModelRegistry::baseline();
+        let mut registry = baseline_registry();
         registry.register("fb", "case-insensitive duplicate", || {
             Box::new(crate::FaultyBlockModel)
         });

@@ -15,18 +15,23 @@ use serde::{Deserialize, Serialize};
 /// sequentially added to the network"); streaming consumers also understand
 /// the reverse transition, which models node recovery (repair) and lets an
 /// injection sequence be rewound for bisection debugging.
+///
+/// The node address type is generic so the same event vocabulary serves
+/// every mesh dimension (the generic fault injector in `faultgen` emits
+/// `FaultEvent<T::Coord>`); it defaults to the 2-D [`Coord`], so 2-D code
+/// reads `FaultEvent` unchanged.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-pub enum FaultEvent {
+pub enum FaultEvent<C = Coord> {
     /// Node `.0` fails.
-    Inject(Coord),
+    Inject(C),
     /// Node `.0` recovers.
-    Repair(Coord),
+    Repair(C),
 }
 
-impl FaultEvent {
+impl<C: Copy> FaultEvent<C> {
     /// The node the event concerns.
     #[inline]
-    pub fn node(self) -> Coord {
+    pub fn node(self) -> C {
         match self {
             FaultEvent::Inject(c) | FaultEvent::Repair(c) => c,
         }
@@ -34,7 +39,7 @@ impl FaultEvent {
 
     /// The event undoing this one (inject ⟷ repair of the same node).
     #[inline]
-    pub fn inverse(self) -> FaultEvent {
+    pub fn inverse(self) -> FaultEvent<C> {
         match self {
             FaultEvent::Inject(c) => FaultEvent::Repair(c),
             FaultEvent::Repair(c) => FaultEvent::Inject(c),

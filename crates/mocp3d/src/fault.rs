@@ -1,18 +1,16 @@
 //! 3-D fault sets and the seeded 3-D fault injector.
 //!
-//! The injector mirrors `faultgen::FaultInjector` exactly — sequential
-//! injection, prefix property, exact undo — and shares its weighted
-//! sampling core ([`faultgen::WeightTable`]): the only 3-D-specific part
-//! is that *adjacent* means the 26-neighborhood, so the clustered model
-//! doubles the failure rate of up to 26 neighbors per fault.
+//! Since the `mocp_topology` redesign the injector *is*
+//! `faultgen::FaultInjector` — [`FaultInjector3`] is its `Mesh3D`
+//! instantiation, not a re-implementation: one generic draw / boost /
+//! undo loop over the shared [`faultgen::WeightTable`] drives both
+//! dimensions, and the only 3-D-specific part is [`Mesh3D`]'s cluster
+//! neighborhood (the 26-neighborhood the clustered model's rate boost
+//! applies to).
 
 use crate::mesh::Mesh3D;
 use crate::region::Region3;
-use faultgen::weights::{DrawRecord, WeightTable};
-use faultgen::FaultDistribution;
 use mocp_core::extension3d::Coord3;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The set of faulty nodes of a 3-D mesh: a dense membership bitmap for
 /// O(1) queries plus the insertion order the clustered model depends on.
@@ -107,121 +105,34 @@ impl FaultSet3 {
 }
 
 /// Incremental, seeded 3-D fault injector under the paper's two
-/// distribution models.
+/// distribution models: the `Mesh3D` instantiation of the generic
+/// [`faultgen::FaultInjector`].
 ///
-/// Like its 2-D counterpart, faults are added one at a time, so one
+/// Like the 2-D instantiation, faults are added one at a time, so one
 /// injector serves a whole fault-count sweep: the first `k` faults of a
 /// sequence are exactly the faults the model would have produced for a
 /// budget of `k`. The boost/undo weight bookkeeping lives in the shared
-/// [`WeightTable`]; nodes are flattened through [`Mesh3D::index`].
-#[derive(Clone, Debug)]
-pub struct FaultInjector3 {
-    mesh: Mesh3D,
-    distribution: FaultDistribution,
-    rng: StdRng,
-    faults: FaultSet3,
-    weights: WeightTable,
-    log: Vec<DrawRecord>,
-}
+/// [`faultgen::WeightTable`]; nodes are flattened through
+/// [`Mesh3D::index`], and `undo_last` / `snapshot` / `restore` /
+/// `event_stream` all come from the generic implementation.
+pub type FaultInjector3 = faultgen::FaultInjector<Mesh3D>;
 
-impl FaultInjector3 {
-    /// Creates an injector for `mesh` with the given model and RNG seed.
-    pub fn new(mesh: Mesh3D, distribution: FaultDistribution, seed: u64) -> Self {
-        FaultInjector3 {
-            mesh,
-            distribution,
-            rng: StdRng::seed_from_u64(seed),
-            faults: FaultSet3::new(mesh),
-            weights: WeightTable::uniform(mesh.node_count()),
-            log: Vec::new(),
-        }
-    }
-
-    /// The mesh being injected into.
-    pub fn mesh(&self) -> &Mesh3D {
-        &self.mesh
-    }
-
-    /// The distribution model in use.
-    pub fn distribution(&self) -> FaultDistribution {
-        self.distribution
-    }
-
-    /// The faults injected so far.
-    pub fn faults(&self) -> &FaultSet3 {
-        &self.faults
-    }
-
-    /// Number of faults injected so far.
-    pub fn len(&self) -> usize {
-        self.faults.len()
-    }
-
-    /// True when no fault has been injected yet.
-    pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
-    }
-
-    /// Injects one more fault and returns its position, or `None` when
-    /// every node has already failed.
-    pub fn inject_one(&mut self) -> Option<Coord3> {
-        if self.weights.total() == 0 {
-            return None;
-        }
-        let target = self.rng.gen_range(0..self.weights.total());
-        let victim = self.mesh.coord(self.weights.locate(target)?);
-        let record = if self.distribution == FaultDistribution::Clustered {
-            let mesh = self.mesh;
-            let neighbors: Vec<usize> = mesh.neighbors26(victim).map(|n| mesh.index(n)).collect();
-            self.weights.mark_faulty(mesh.index(victim), neighbors)
-        } else {
-            self.weights.mark_faulty(self.mesh.index(victim), [])
-        };
-        self.faults.insert(victim);
-        self.log.push(record);
-        Some(victim)
-    }
-
-    /// Injects faults until `count` faults exist in total. Returns the
-    /// number of faults actually present afterwards (saturating at the
-    /// mesh size).
-    pub fn inject_up_to(&mut self, count: usize) -> usize {
-        while self.faults.len() < count {
-            if self.inject_one().is_none() {
-                break;
-            }
-        }
-        self.faults.len()
-    }
-
-    /// Un-injects the most recent fault, restoring the weight bookkeeping
-    /// (including the clustered model's neighbor boosts) exactly through
-    /// the shared core. Returns the revived node, or `None` when no fault
-    /// remains. The RNG is **not** rewound.
-    pub fn undo_last(&mut self) -> Option<Coord3> {
-        let record = self.log.pop()?;
-        let victim = self.mesh.coord(record.victim());
-        self.weights.undo(record);
-        self.faults.remove(victim);
-        Some(victim)
-    }
-}
-
-/// Convenience wrapper: generates `count` faults in one call.
+/// Convenience wrapper: generates `count` faults in one call (delegates
+/// to the generic [`faultgen::generate_faults`] at `Mesh3D`).
 pub fn generate_faults_3d(
     mesh: Mesh3D,
     count: usize,
-    distribution: FaultDistribution,
+    distribution: faultgen::FaultDistribution,
     seed: u64,
 ) -> FaultSet3 {
-    let mut inj = FaultInjector3::new(mesh, distribution, seed);
-    inj.inject_up_to(count);
-    inj.faults().clone()
+    faultgen::generate_faults(mesh, count, distribution, seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faultgen::FaultDistribution;
+    use mesh2d::FaultEvent;
 
     #[test]
     fn generates_requested_number_of_distinct_faults() {
@@ -264,21 +175,30 @@ mod tests {
     }
 
     #[test]
-    fn undo_restores_the_shared_weight_core_exactly() {
+    fn undo_rewinds_the_generic_injector_exactly() {
         let mesh = Mesh3D::cube(5);
         for dist in FaultDistribution::ALL {
             let mut inj = FaultInjector3::new(mesh, dist, 5);
             inj.inject_up_to(10);
-            let reference = inj.clone();
+            let reference = inj.faults().clone();
+            let snap = inj.snapshot();
             inj.inject_up_to(20);
             for _ in 0..10 {
-                assert!(inj.undo_last().is_some());
+                let event = inj.undo_last().expect("ten faults to rewind");
+                assert!(matches!(event, FaultEvent::Repair(_)), "{dist:?}");
             }
             assert_eq!(
                 inj.faults().in_insertion_order(),
-                reference.faults().in_insertion_order()
+                reference.in_insertion_order()
             );
-            assert_eq!(inj.weights, reference.weights, "{dist:?}");
+            // The snapshot/restore contract holds through the shared core:
+            // the continuation replays identically after a restore.
+            inj.restore(&snap).expect("history matches the snapshot");
+            inj.inject_up_to(20);
+            let first: Vec<Coord3> = inj.faults().in_insertion_order().to_vec();
+            inj.restore(&snap).expect("history matches the snapshot");
+            inj.inject_up_to(20);
+            assert_eq!(inj.faults().in_insertion_order(), &first[..], "{dist:?}");
         }
     }
 

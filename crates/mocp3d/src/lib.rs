@@ -13,27 +13,33 @@
 //!   prototype `mocp_core::extension3d::minimum_polyhedra` (which remains
 //!   the differential test oracle);
 //! * [`FaultSet3`] / [`FaultInjector3`] — the paper's random and clustered
-//!   fault distributions in 3-D, sharing `faultgen`'s dimension-generic
+//!   fault distributions in 3-D; the injector is the `Mesh3D`
+//!   instantiation of `faultgen`'s generic injector, sharing its
 //!   weighted-sampling core (the clustered model doubles the rate of the
 //!   26-neighborhood);
 //! * [`FaultyCuboidModel`] (`"FB3D"`) and [`MinimumPolyhedronModel`]
 //!   (`"MFP3D"`) — the cuboid baseline and the minimum-polyhedron
-//!   construction, registered behind the same name-keyed registry pattern
-//!   as the 2-D models ([`standard_registry_3d`]).
+//!   construction, implementing the dimension-generic
+//!   `mocp_topology::FaultModel<Mesh3D>` and producing [`Outcome3`], the
+//!   `Mesh3D` instantiation of the one generic `Outcome`;
+//! * the [`topology`] module — `Mesh3D: MeshTopology` plus the region /
+//!   status / fault-store trait impls that plug the whole 3-D stack into
+//!   the generic registry, injector and scenario runner.
 //!
 //! The `experiments` crate sweeps these models over a 32×32×32 mesh
-//! (`paper_figures --three-d`) to produce the 3-D analogues of the paper's
+//! (`paper_figures --dim 3`) through the *same* `run_scenario` code path
+//! as the 2-D figures, producing the 3-D analogues of the paper's
 //! Figures 9 and 10.
 //!
 //! ```
-//! use mocp_3d::{construct_3d, generate_faults_3d, standard_registry_3d, Mesh3D};
+//! use mocp_3d::{generate_faults_3d, standard_registry_3d, Mesh3D};
 //! use faultgen::FaultDistribution;
 //!
 //! let mesh = Mesh3D::cube(12);
 //! let faults = generate_faults_3d(mesh, 30, FaultDistribution::Clustered, 1);
 //! let registry = standard_registry_3d();
-//! let fb = construct_3d(&registry, "FB3D", &mesh, &faults).unwrap();
-//! let mfp = construct_3d(&registry, "MFP3D", &mesh, &faults).unwrap();
+//! let fb = registry.construct("FB3D", &mesh, &faults).unwrap();
+//! let mfp = registry.construct("MFP3D", &mesh, &faults).unwrap();
 //! assert!(mfp.disabled_nonfaulty() <= fb.disabled_nonfaulty());
 //! ```
 
@@ -46,13 +52,17 @@ pub mod mesh;
 pub mod model;
 pub mod region;
 pub mod registry;
+pub mod topology;
 
 pub use fault::{generate_faults_3d, FaultInjector3, FaultSet3};
 pub use grid::Grid3;
 pub use mesh::Mesh3D;
-pub use model::{FaultModel3, FaultyCuboidModel, MinimumPolyhedronModel, Outcome3};
+pub use model::{FaultyCuboidModel, MinimumPolyhedronModel, Outcome3};
 pub use region::{minimum_polyhedra, Region3};
-pub use registry::{construct_3d, standard_registry_3d, BoxedModel3, ModelRegistry3};
+pub use registry::{standard_registry_3d, BoxedModel3, ModelRegistry3};
+
+// The dimension-generic vocabulary this crate instantiates.
+pub use mocp_topology::{FaultModel, MeshTopology, Outcome};
 
 // The node address vocabulary is shared with the specification prototype.
 pub use mocp_core::extension3d::Coord3;

@@ -15,80 +15,19 @@ use crate::fault::FaultSet3;
 use crate::grid::Grid3;
 use crate::mesh::Mesh3D;
 use crate::region::Region3;
+use distsim::RoundStats;
 use mesh2d::NodeStatus;
 use mocp_core::extension3d::Coord3;
+use mocp_topology::{FaultModel, Outcome};
 
-/// The outcome of running a 3-D fault-model construction on a faulty mesh:
-/// the 3-D analogue of `fblock::ModelOutcome`.
-#[derive(Clone, Debug)]
-pub struct Outcome3 {
-    /// Short model name ("FB3D", "MFP3D").
-    pub model: String,
-    /// Final status of every node (faulty / disabled / enabled).
-    pub status: Grid3<NodeStatus>,
-    /// The fault regions (cuboids or polyhedra) the model produced.
-    pub regions: Vec<Region3>,
-}
-
-impl Outcome3 {
-    /// Number of non-faulty nodes the model disables — the Figure 9
-    /// analogue metric.
-    pub fn disabled_nonfaulty(&self) -> usize {
-        self.status.count_where(|&s| s == NodeStatus::Disabled)
-    }
-
-    /// Number of faulty nodes.
-    pub fn faulty_count(&self) -> usize {
-        self.status.count_where(|&s| s == NodeStatus::Faulty)
-    }
-
-    /// Average number of nodes (faulty + disabled) per region — the
-    /// Figure 10 analogue metric. Zero when there are no regions.
-    pub fn average_region_size(&self) -> f64 {
-        if self.regions.is_empty() {
-            0.0
-        } else {
-            let total: usize = self.regions.iter().map(Region3::len).sum();
-            total as f64 / self.regions.len() as f64
-        }
-    }
-
-    /// Every faulty node is covered by some region.
-    pub fn covers_all_faults(&self) -> bool {
-        self.status
-            .iter()
-            .all(|(c, &s)| s != NodeStatus::Faulty || self.regions.iter().any(|r| r.contains(c)))
-    }
-
-    /// True when every produced region is orthogonally convex.
-    pub fn all_regions_convex(&self) -> bool {
-        self.regions.iter().all(Region3::is_orthogonally_convex)
-    }
-
-    /// True when the produced regions are pairwise disjoint.
-    pub fn regions_disjoint(&self) -> bool {
-        for (i, a) in self.regions.iter().enumerate() {
-            for b in &self.regions[i + 1..] {
-                if a.iter().any(|c| b.contains(c)) {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-}
-
-/// A 3-D fault-model construction: given the mesh and the faults, decide
-/// which non-faulty nodes must be disabled so that the excluded regions
-/// have the shape the model promises (cuboids for FB-3D, orthogonal
-/// convex polyhedra for MFP-3D).
-pub trait FaultModel3 {
-    /// Short display name ("FB3D", "MFP3D").
-    fn name(&self) -> &'static str;
-
-    /// Runs the construction.
-    fn construct(&self, mesh: &Mesh3D, faults: &FaultSet3) -> Outcome3;
-}
+/// The outcome of running a 3-D fault-model construction on a faulty
+/// mesh: the `Mesh3D` instantiation of the one generic
+/// [`Outcome`], exactly as `fblock::ModelOutcome`
+/// is its `Mesh2D` instantiation. The Figure 9/10 metrics
+/// (`disabled_nonfaulty`, `average_region_size`) and the safety
+/// predicates (`covers_all_faults`, `all_regions_convex`,
+/// `regions_disjoint`) come from the shared generic impl.
+pub type Outcome3 = Outcome<Mesh3D>;
 
 /// How one merge-process step completes a 26-connected component.
 fn complete_component(comp: &Region3, cuboid: bool) -> Region3 {
@@ -115,6 +54,7 @@ fn complete_component(comp: &Region3, cuboid: bool) -> Region3 {
 /// report the final components as the model's regions.
 fn merge_process(mesh: &Mesh3D, faults: &FaultSet3, name: &'static str, cuboid: bool) -> Outcome3 {
     let mut excluded = faults.region();
+    let mut growth_rounds = 0u32;
     let regions = loop {
         let components = excluded.components26();
         let completed: Vec<Region3> = components
@@ -128,6 +68,7 @@ fn merge_process(mesh: &Mesh3D, faults: &FaultSet3, name: &'static str, cuboid: 
         if next.len() == excluded.len() {
             break completed;
         }
+        growth_rounds += 1;
         excluded = next;
     };
 
@@ -142,6 +83,15 @@ fn merge_process(mesh: &Mesh3D, faults: &FaultSet3, name: &'static str, cuboid: 
     }
     Outcome3 {
         model: name.to_string(),
+        // The Figure 11 analogue for the merge process: one round per
+        // fixpoint iteration that grew the excluded set (the final
+        // quiescent pass is not counted, matching `RoundStats::rounds`),
+        // one event per node the model excluded beyond the faults.
+        rounds: RoundStats {
+            rounds: growth_rounds,
+            events: (excluded.len() - faults.len()) as u64,
+            converged: true,
+        },
         status,
         regions,
     }
@@ -153,13 +103,13 @@ fn merge_process(mesh: &Mesh3D, faults: &FaultSet3, name: &'static str, cuboid: 
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FaultyCuboidModel;
 
-impl FaultModel3 for FaultyCuboidModel {
+impl FaultModel<Mesh3D> for FaultyCuboidModel {
     fn name(&self) -> &'static str {
         "FB3D"
     }
 
     fn construct(&self, mesh: &Mesh3D, faults: &FaultSet3) -> Outcome3 {
-        merge_process(mesh, faults, self.name(), true)
+        merge_process(mesh, faults, FaultModel::name(self), true)
     }
 }
 
@@ -169,13 +119,13 @@ impl FaultModel3 for FaultyCuboidModel {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MinimumPolyhedronModel;
 
-impl FaultModel3 for MinimumPolyhedronModel {
+impl FaultModel<Mesh3D> for MinimumPolyhedronModel {
     fn name(&self) -> &'static str {
         "MFP3D"
     }
 
     fn construct(&self, mesh: &Mesh3D, faults: &FaultSet3) -> Outcome3 {
-        merge_process(mesh, faults, self.name(), false)
+        merge_process(mesh, faults, FaultModel::name(self), false)
     }
 }
 
@@ -229,8 +179,8 @@ mod tests {
             &[(0, 0, 0), (2, 0, 0), (4, 0, 0), (0, 2, 0), (4, 2, 0)],
         );
         for (model, name) in [
-            (&FaultyCuboidModel as &dyn FaultModel3, "FB3D"),
-            (&MinimumPolyhedronModel as &dyn FaultModel3, "MFP3D"),
+            (&FaultyCuboidModel as &dyn FaultModel<Mesh3D>, "FB3D"),
+            (&MinimumPolyhedronModel as &dyn FaultModel<Mesh3D>, "MFP3D"),
         ] {
             let outcome = model.construct(&mesh, &fs);
             assert_eq!(outcome.model, name);

@@ -1,20 +1,19 @@
 //! The name-keyed registry of 3-D fault models.
 //!
-//! Reuses `fblock`'s generic [`NamedRegistry`] — the exact machinery the
-//! 2-D sweeps resolve "FB"/"FP"/"CMFP"/"DMFP" through — instantiated for
-//! the 3-D [`FaultModel3`] trait, so the 3-D experiment harness resolves
-//! "FB3D"/"MFP3D" the same way.
+//! [`ModelRegistry3`] is `mocp_topology::ModelRegistry<Mesh3D>` — the
+//! *same* generic registry type the 2-D sweeps resolve
+//! "FB"/"FP"/"CMFP"/"DMFP" through (`fblock::ModelRegistry` is its
+//! `Mesh2D` instantiation), so the one generic scenario runner drives
+//! "FB3D"/"MFP3D" with no 3-D-specific harness code.
 
-use crate::fault::FaultSet3;
 use crate::mesh::Mesh3D;
-use crate::model::{FaultModel3, FaultyCuboidModel, MinimumPolyhedronModel, Outcome3};
-use fblock::{NamedRegistry, UnknownModel};
+use crate::model::{FaultyCuboidModel, MinimumPolyhedronModel};
 
 /// A boxed, thread-shareable 3-D fault model, as produced by the registry.
-pub type BoxedModel3 = Box<dyn FaultModel3 + Send + Sync>;
+pub type BoxedModel3 = mocp_topology::BoxedModel<Mesh3D>;
 
 /// Registry mapping 3-D model names to constructors.
-pub type ModelRegistry3 = NamedRegistry<dyn FaultModel3 + Send + Sync>;
+pub type ModelRegistry3 = mocp_topology::ModelRegistry<Mesh3D>;
 
 /// The registry of the 3-D models this crate implements, in presentation
 /// order: the FB-3D cuboid baseline and the MFP-3D minimum polyhedron.
@@ -33,21 +32,12 @@ pub fn standard_registry_3d() -> ModelRegistry3 {
     registry
 }
 
-/// Resolves `name` in `registry` and runs its construction in one call —
-/// the 3-D counterpart of `ModelRegistry::construct`.
-pub fn construct_3d(
-    registry: &ModelRegistry3,
-    name: &str,
-    mesh: &Mesh3D,
-    faults: &FaultSet3,
-) -> Result<Outcome3, UnknownModel> {
-    Ok(registry.build(name)?.construct(mesh, faults))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSet3;
     use mocp_core::extension3d::Coord3;
+    use mocp_topology::UnknownModel;
 
     #[test]
     fn standard_registry_has_both_models_in_order() {
@@ -62,10 +52,10 @@ mod tests {
         let registry = standard_registry_3d();
         let mesh = Mesh3D::cube(6);
         let faults = FaultSet3::from_coords(mesh, [Coord3::new(1, 1, 1), Coord3::new(2, 2, 2)]);
-        let outcome = construct_3d(&registry, "FB3D", &mesh, &faults).unwrap();
+        let outcome = registry.construct("FB3D", &mesh, &faults).unwrap();
         assert_eq!(outcome.model, "FB3D");
         assert!(outcome.covers_all_faults());
-        let err = construct_3d(&registry, "CMFP", &mesh, &faults).unwrap_err();
+        let err: UnknownModel = registry.construct("CMFP", &mesh, &faults).unwrap_err();
         assert_eq!(err.requested, "CMFP");
         assert_eq!(err.known, vec!["FB3D", "MFP3D"]);
     }

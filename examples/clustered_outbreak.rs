@@ -9,7 +9,7 @@
 use experiments::fig10::figure10;
 use experiments::fig11::figure11;
 use experiments::fig9::figure9_raw;
-use experiments::{render_table, run_sweep, SweepConfig};
+use experiments::{render_table, run_scenario, Scenario, SweepConfig};
 use faultgen::FaultDistribution;
 
 fn main() {
@@ -27,17 +27,22 @@ fn main() {
         config.mesh_size,
         config.trials,
     );
-    let result = run_sweep(&config, FaultDistribution::Clustered);
+    let registry = mocp_core::standard_registry();
+    let scenario = Scenario::paper_figures(&config, FaultDistribution::Clustered);
+    let result = run_scenario(&registry, &scenario).expect("paper models are registered");
 
     println!("{}", render_table(&figure9_raw(&result)));
     println!("{}", render_table(&figure10(&result)));
     println!("{}", render_table(&figure11(&result)));
 
     // Headline numbers the paper quotes in prose.
-    if let (Some(first), Some(last)) = (result.points.first(), result.points.last()) {
-        let recovered_fp = 1.0 - last.fp.disabled_nonfaulty / last.fb.disabled_nonfaulty.max(1.0);
-        let recovered_mfp =
-            1.0 - last.cmfp.disabled_nonfaulty / last.fb.disabled_nonfaulty.max(1.0);
+    let fb = result.model_curve("FB").expect("FB was swept");
+    let fp = result.model_curve("FP").expect("FP was swept");
+    let cmfp = result.model_curve("CMFP").expect("CMFP was swept");
+    if let Some(last) = result.points.last() {
+        let i = result.points.len() - 1;
+        let recovered_fp = 1.0 - fp[i].disabled_nonfaulty / fb[i].disabled_nonfaulty.max(1.0);
+        let recovered_mfp = 1.0 - cmfp[i].disabled_nonfaulty / fb[i].disabled_nonfaulty.max(1.0);
         println!(
             "at {} faults: FP re-enables {:.0}% and MFP re-enables {:.0}% of the healthy nodes the faulty blocks disable",
             last.fault_count,
@@ -46,7 +51,7 @@ fn main() {
         );
         println!(
             "average faulty-block size grows from {:.2} to {:.2} nodes across the sweep, while the MFP stays between {:.2} and {:.2}",
-            first.fb.avg_region_size, last.fb.avg_region_size, first.cmfp.avg_region_size, last.cmfp.avg_region_size,
+            fb[0].avg_region_size, fb[i].avg_region_size, cmfp[0].avg_region_size, cmfp[i].avg_region_size,
         );
     }
 }

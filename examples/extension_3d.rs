@@ -12,7 +12,7 @@
 //! ```
 
 use mocp::faultgen::FaultDistribution;
-use mocp::mocp_3d::{construct_3d, generate_faults_3d, standard_registry_3d, Mesh3D};
+use mocp::mocp_3d::{generate_faults_3d, standard_registry_3d, Mesh3D};
 
 fn main() {
     let mesh = Mesh3D::cube(16);
@@ -33,8 +33,12 @@ fn main() {
     for &count in &[20usize, 40, 80, 120] {
         let faults = generate_faults_3d(mesh, count, FaultDistribution::Clustered, 16);
         let components = faults.region().components26().len();
-        let fb = construct_3d(&registry, "FB3D", &mesh, &faults).expect("FB3D is registered");
-        let mfp = construct_3d(&registry, "MFP3D", &mesh, &faults).expect("MFP3D is registered");
+        let fb = registry
+            .construct("FB3D", &mesh, &faults)
+            .expect("FB3D is registered");
+        let mfp = registry
+            .construct("MFP3D", &mesh, &faults)
+            .expect("MFP3D is registered");
         assert!(mfp.covers_all_faults() && mfp.all_regions_convex());
         println!(
             "{:>8} {:>12} {:>14} {:>14} {:>12}",

@@ -29,3 +29,4 @@ pub use meshroute;
 pub use mocp_3d;
 pub use mocp_core;
 pub use mocp_incremental;
+pub use mocp_topology;

@@ -1,9 +1,9 @@
 //! Integration of the 3-D subsystem through the facade: registry-resolved
 //! FB-3D / MFP-3D constructions, their safety properties, and the ordering
-//! the `--three-d` sweep reports.
+//! the `--dim 3` sweep reports.
 
 use mocp::faultgen::FaultDistribution;
-use mocp::mocp_3d::{construct_3d, generate_faults_3d, standard_registry_3d, Mesh3D};
+use mocp::mocp_3d::{generate_faults_3d, standard_registry_3d, Mesh3D};
 use mocp::mocp_core::extension3d;
 
 #[test]
@@ -13,8 +13,8 @@ fn registry_resolved_models_satisfy_safety_and_ordering() {
     for dist in FaultDistribution::ALL {
         for seed in 0..3 {
             let faults = generate_faults_3d(mesh, 70, dist, seed);
-            let fb = construct_3d(&registry, "FB3D", &mesh, &faults).unwrap();
-            let mfp = construct_3d(&registry, "MFP3D", &mesh, &faults).unwrap();
+            let fb = registry.construct("FB3D", &mesh, &faults).unwrap();
+            let mfp = registry.construct("MFP3D", &mesh, &faults).unwrap();
             for outcome in [&fb, &mfp] {
                 assert!(outcome.covers_all_faults(), "{dist:?} seed {seed}");
                 assert!(outcome.all_regions_convex(), "{dist:?} seed {seed}");
@@ -61,15 +61,12 @@ fn dense_subsystem_agrees_with_the_specification_prototype() {
 }
 
 #[test]
-fn three_d_sweep_runs_through_the_facade() {
-    use mocp::experiments::three_d::Scenario3;
+fn three_d_sweep_runs_through_the_generic_runner() {
+    use mocp::experiments::{run_scenario, Metric, Scenario};
     let registry = standard_registry_3d();
-    let result = mocp::experiments::run_scenario_3d(
-        &registry,
-        &Scenario3::quick(FaultDistribution::Clustered),
-    )
-    .unwrap();
-    let fig9 = result.fig9_series();
+    let result =
+        run_scenario(&registry, &Scenario::quick_3d(FaultDistribution::Clustered)).unwrap();
+    let fig9 = result.series(Metric::DisabledNonfaulty);
     let fb = fig9.curve("FB3D").unwrap();
     let mfp = fig9.curve("MFP3D").unwrap();
     assert_eq!(fb.len(), mfp.len());
