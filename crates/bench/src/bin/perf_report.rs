@@ -1,0 +1,308 @@
+//! Persistent performance harness: times the repository's headline
+//! workloads and writes a machine-readable JSON report.
+//!
+//! ```text
+//! cargo run --release -p mocp-bench --bin perf_report            # full run
+//! cargo run --release -p mocp-bench --bin perf_report -- --quick # CI smoke
+//! cargo run --release -p mocp-bench --bin perf_report -- \
+//!     --baseline old.json --out BENCH_5.json                     # with speedups
+//! ```
+//!
+//! Four workloads are timed, matching the repository's own definitions:
+//!
+//! * `batch_sweep_2d_100x800` — the batch arm of the
+//!   `incremental_vs_batch` bench: CMFP (concave sections) reconstructed
+//!   from scratch at checkpoints 100..800 on the paper's 100×100 mesh;
+//! * `incremental_stream_512x20k` — the incremental maintenance engine
+//!   absorbing a 20 000-fault clustered injection stream on a 512×512 mesh;
+//! * `paper_figures_2d` — the full Figure 9/10/11 scenario sweep (both
+//!   distributions, one trial) through `run_scenario`;
+//! * `paper_figures_3d` — the 3-D Figure 9/10 analogue sweep (32³ mesh,
+//!   both distributions).
+//!
+//! With `--baseline <file>` (a previous report), every workload also gets
+//! `baseline_ms` and `speedup` fields so regressions/improvements are
+//! visible from the committed JSON alone.
+
+use experiments::scenario::{run_scenario, Scenario};
+use experiments::SweepConfig;
+use faultgen::{FaultDistribution, FaultInjector};
+use fblock::FaultModel;
+use mesh2d::{Coord, FaultEvent, FaultSet, Mesh2D};
+use mocp_core::CentralizedMfpModel;
+use mocp_incremental::IncrementalEngine;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed workload: name plus the measured samples in milliseconds.
+struct Measurement {
+    name: &'static str,
+    /// What the workload consists of, for human readers of the JSON.
+    detail: String,
+    samples_ms: Vec<f64>,
+}
+
+impl Measurement {
+    fn min_ms(&self) -> f64 {
+        self.samples_ms
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn mean_ms(&self) -> f64 {
+        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+    }
+}
+
+/// Times `work` `repeats` times (after one untimed warm-up when
+/// `repeats > 1`), black-boxing the result so the work cannot be elided.
+fn time_workload<R>(
+    name: &'static str,
+    detail: String,
+    repeats: usize,
+    mut work: impl FnMut() -> R,
+) -> Measurement {
+    if repeats > 1 {
+        black_box(work());
+    }
+    let mut samples_ms = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        black_box(work());
+        samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    eprintln!("  {name}: min {:.3} ms over {repeats} run(s)", {
+        samples_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    });
+    Measurement {
+        name,
+        detail,
+        samples_ms,
+    }
+}
+
+/// Pre-generates one clustered injection sequence (setup, untimed).
+fn sequence(mesh: Mesh2D, faults: usize, seed: u64) -> Vec<Coord> {
+    let mut injector = FaultInjector::new(mesh, FaultDistribution::Clustered, seed);
+    injector.event_stream(faults).map(|e| e.node()).collect()
+}
+
+/// The batch arm of `incremental_vs_batch`: full CMFP reconstruction at
+/// every checkpoint.
+fn batch_sweep(mesh: &Mesh2D, seq: &[Coord], checkpoints: &[usize]) -> Vec<(usize, usize, f64)> {
+    let model = CentralizedMfpModel::concave_sections();
+    let mut faults = FaultSet::new(*mesh);
+    let mut next = seq.iter();
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for &count in checkpoints {
+        while faults.len() < count {
+            match next.next() {
+                Some(&c) => {
+                    faults.insert(c);
+                }
+                None => break,
+            }
+        }
+        let outcome = model.construct(mesh, &faults);
+        out.push((
+            count,
+            outcome.disabled_nonfaulty(),
+            outcome.average_region_size(),
+        ));
+    }
+    out
+}
+
+/// The incremental arm: one engine absorbs the whole stream event by event.
+fn incremental_stream(mesh: &Mesh2D, seq: &[Coord]) -> (usize, f64) {
+    let mut engine = IncrementalEngine::new(*mesh);
+    for &c in seq {
+        engine.apply(FaultEvent::Inject(c));
+    }
+    (engine.disabled_nonfaulty(), engine.average_region_size())
+}
+
+/// Extracts `"min":<float>` for workload `name` from a previous report.
+/// The parser only understands files this binary wrote.
+fn baseline_min_ms(report: &str, name: &str) -> Option<f64> {
+    let at = report.find(&format!("\"{name}\""))?;
+    let rest = &report[at..];
+    let min_at = rest.find("\"min\":")? + "\"min\":".len();
+    let tail = rest[min_at..].trim_start();
+    let end = tail
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn render_report(mode: &str, measurements: &[Measurement], baseline: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mocp-perf-report/1\",\n");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    out.push_str("  \"units\": \"milliseconds\",\n");
+    out.push_str("  \"workloads\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = writeln!(out, "    \"{}\": {{", m.name);
+        let _ = writeln!(out, "      \"detail\": \"{}\",", m.detail);
+        let _ = writeln!(out, "      \"min\": {:.3},", m.min_ms());
+        let _ = writeln!(out, "      \"mean\": {:.3},", m.mean_ms());
+        let samples: Vec<String> = m.samples_ms.iter().map(|s| format!("{s:.3}")).collect();
+        let _ = write!(out, "      \"samples\": [{}]", samples.join(", "));
+        if let Some(base_ms) = baseline.and_then(|b| baseline_min_ms(b, m.name)) {
+            let _ = write!(
+                out,
+                ",\n      \"baseline_min\": {:.3},\n      \"speedup\": {:.2}",
+                base_ms,
+                base_ms / m.min_ms()
+            );
+        }
+        out.push('\n');
+        let _ = write!(
+            out,
+            "    }}{}",
+            if i + 1 < measurements.len() {
+                ",\n"
+            } else {
+                "\n"
+            }
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let baseline = flag_value("--baseline").map(|path| {
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
+    });
+
+    let mode = if quick { "quick" } else { "full" };
+    let repeats = if quick { 1 } else { 3 };
+    eprintln!("perf_report ({mode} mode, {repeats} timed run(s) per workload)");
+
+    let mut measurements = Vec::new();
+
+    // Workload 1: the batch construction sweep.
+    {
+        let (side, checkpoints) = if quick {
+            (30u32, vec![20usize, 40, 60])
+        } else {
+            (100u32, (1..=8).map(|i| i * 100).collect())
+        };
+        let mesh = Mesh2D::square(side);
+        let max = *checkpoints.last().expect("checkpoints are non-empty");
+        let seq = sequence(mesh, max, 2004);
+        measurements.push(time_workload(
+            if quick {
+                "batch_sweep_2d_quick"
+            } else {
+                "batch_sweep_2d_100x800"
+            },
+            format!("CMFP batch reconstruction at checkpoints {checkpoints:?} on a {side}x{side} mesh (clustered, seed 2004)"),
+            repeats.max(3),
+            || batch_sweep(&mesh, &seq, &checkpoints),
+        ));
+    }
+
+    // Workload 2: the incremental maintenance stream.
+    {
+        let (side, faults) = if quick {
+            (96u32, 1_500usize)
+        } else {
+            (512u32, 20_000usize)
+        };
+        let mesh = Mesh2D::square(side);
+        let seq = sequence(mesh, faults, 2004);
+        measurements.push(time_workload(
+            if quick {
+                "incremental_stream_quick"
+            } else {
+                "incremental_stream_512x20k"
+            },
+            format!(
+                "IncrementalEngine absorbing {faults} clustered injections on a {side}x{side} mesh"
+            ),
+            repeats,
+            || incremental_stream(&mesh, &seq),
+        ));
+    }
+
+    // Workload 3: the 2-D paper-figures sweep through the one generic runner.
+    {
+        let config = if quick {
+            SweepConfig::quick()
+        } else {
+            SweepConfig {
+                mesh_size: 100,
+                fault_counts: (1..=8).map(|i| i * 100).collect(),
+                trials: 1,
+                base_seed: 2004,
+            }
+        };
+        let registry = mocp_core::standard_registry();
+        measurements.push(time_workload(
+            if quick {
+                "paper_figures_2d_quick"
+            } else {
+                "paper_figures_2d"
+            },
+            format!(
+                "run_scenario FB/FP/CMFP/DMFP, {}x{} mesh, counts {:?}, both distributions",
+                config.mesh_size, config.mesh_size, config.fault_counts
+            ),
+            repeats,
+            || {
+                FaultDistribution::ALL.map(|dist| {
+                    run_scenario(&registry, &Scenario::paper_figures(&config, dist))
+                        .expect("paper models resolve")
+                })
+            },
+        ));
+    }
+
+    // Workload 4: the 3-D analogue sweep.
+    {
+        let registry = mocp_3d::standard_registry_3d();
+        let scenario_for = if quick {
+            Scenario::quick_3d
+        } else {
+            Scenario::paper_figures_3d
+        };
+        let detail = if quick {
+            "run_scenario FB3D/MFP3D on a 12^3 mesh, both distributions"
+        } else {
+            "run_scenario FB3D/MFP3D on a 32^3 mesh, counts 100..800, 3 trials, both distributions"
+        };
+        measurements.push(time_workload(
+            if quick {
+                "paper_figures_3d_quick"
+            } else {
+                "paper_figures_3d"
+            },
+            detail.to_string(),
+            repeats,
+            || {
+                FaultDistribution::ALL.map(|dist| {
+                    run_scenario(&registry, &scenario_for(dist)).expect("3-D models resolve")
+                })
+            },
+        ));
+    }
+
+    let report = render_report(mode, &measurements, baseline.as_deref());
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    print!("{report}");
+}

@@ -2,12 +2,15 @@
 //! analysis helper.
 
 use crate::component::{merge_components, FaultyComponent};
-use crate::construction::construct_component;
 use crate::superseding::pile_polygons;
 use distsim::RoundStats;
 use fblock::{FaultModel, FaultyBlockModel, ModelOutcome, SubMinimumPolygonModel};
-use mesh2d::{FaultSet, Mesh2D, Region};
+use mesh2d::{BitGrid, BitScratch, Connectivity, FaultSet, Mesh2D, NodeStatus, Region, StatusMap};
 use serde::{Deserialize, Serialize};
+
+/// Size cap under which the fused construction re-verifies against the
+/// staged merge/solve/pile pipeline in debug builds.
+const ORACLE_NODE_CAP: usize = 1024;
 
 /// Which centralized formulation computes the per-component polygons.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
@@ -50,17 +53,26 @@ impl CentralizedMfpModel {
     /// disjoint areas of the mesh, so their rounds compose in parallel).
     ///
     /// Each component is solved through the shared per-component entry point
-    /// ([`construct_component`]), the same path the incremental maintenance
+    /// ([`construct_component`](crate::construction::construct_component)),
+    /// the same path the incremental maintenance
     /// engine uses for its dirty components.
     pub fn solve_components(
         &self,
         mesh: &Mesh2D,
         components: &[FaultyComponent],
     ) -> (Vec<Region>, RoundStats) {
+        // One scratch serves every component: the hull fixpoint re-frames
+        // the same buffers instead of allocating per component.
+        let mut scratch = crate::construction::ConstructionScratch::new();
         let mut polygons = Vec::with_capacity(components.len());
         let mut rounds = RoundStats::quiescent();
         for component in components {
-            let sol = construct_component(mesh, component, self.solution);
+            let sol = crate::construction::construct_component_with(
+                mesh,
+                component,
+                self.solution,
+                &mut scratch,
+            );
             rounds = rounds.in_parallel_with(sol.rounds);
             polygons.push(sol.polygon);
         }
@@ -74,15 +86,95 @@ impl FaultModel for CentralizedMfpModel {
     }
 
     fn construct(&self, mesh: &Mesh2D, faults: &FaultSet) -> ModelOutcome {
-        let components = merge_components(faults);
-        let (polygons, rounds) = self.solve_components(mesh, &components);
-        let status = pile_polygons(mesh, faults, &polygons);
-        ModelOutcome {
-            model: "CMFP".to_string(),
-            status,
-            regions: polygons,
-            rounds,
+        match self.solution {
+            // The concave-section construction runs fully fused on the
+            // packed fault bitmap: word-flood labelling straight into the
+            // per-component hull fixpoint, materializing only the output
+            // polygons — no intermediate component regions at all.
+            CentralizedSolution::ConcaveSections => {
+                let outcome = construct_concave_fused(mesh, faults);
+                debug_assert!(
+                    faults.len() > ORACLE_NODE_CAP || {
+                        let components = merge_components(faults);
+                        let (polygons, rounds) = self.solve_components(mesh, &components);
+                        polygons == outcome.regions
+                            && rounds == outcome.rounds
+                            && pile_polygons(mesh, faults, &polygons) == outcome.status
+                    },
+                    "fused concave construction diverged from the staged pipeline"
+                );
+                outcome
+            }
+            CentralizedSolution::VirtualBlock => {
+                let components = merge_components(faults);
+                let (polygons, rounds) = self.solve_components(mesh, &components);
+                let status = pile_polygons(mesh, faults, &polygons);
+                ModelOutcome {
+                    model: "CMFP".to_string(),
+                    status,
+                    regions: polygons,
+                    rounds,
+                }
+            }
         }
+    }
+}
+
+/// The fused concave-section CMFP construction: one packed fault bitmap,
+/// word-flood component labelling, the bit-parallel hull fixpoint in each
+/// component's own grid, and the superseding pile applied straight from
+/// the packed polygons.
+fn construct_concave_fused(mesh: &Mesh2D, faults: &FaultSet) -> ModelOutcome {
+    let mut scratch = BitScratch::new();
+    let mut rounds = RoundStats::quiescent();
+    let mut status = StatusMap::all_enabled(mesh);
+    // One pass marks the faults and finds their bounding box; a second
+    // packs them — no intermediate coordinate vector.
+    let mut bounds: Option<(mesh2d::Coord, mesh2d::Coord)> = None;
+    for &c in faults.in_insertion_order() {
+        status.set(c, NodeStatus::Faulty);
+        bounds = Some(match bounds {
+            None => (c, c),
+            Some((lo, hi)) => (
+                mesh2d::Coord::new(lo.x.min(c.x), lo.y.min(c.y)),
+                mesh2d::Coord::new(hi.x.max(c.x), hi.y.max(c.y)),
+            ),
+        });
+    }
+    let bits = match bounds {
+        None => BitGrid::empty(),
+        Some((lo, hi)) => {
+            let mut bits = BitGrid::with_bounds(lo, hi);
+            for &c in faults.in_insertion_order() {
+                bits.set(c);
+            }
+            bits
+        }
+    };
+    // Hull-fill each component in place inside the shared flood buffer —
+    // no per-component grid is ever allocated — then sort the extracted
+    // polygons into the merge process's x-major component order (the
+    // round composition is order-independent: max rounds, summed events).
+    let mut polygons: Vec<(mesh2d::Coord, Region)> = Vec::new();
+    bits.for_each_component_with(Connectivity::Eight, &mut scratch, |view| {
+        let key = view.min_coord_x_major();
+        let (iterations, added) = view.hull_fixpoint();
+        rounds = rounds.in_parallel_with(RoundStats {
+            rounds: iterations,
+            events: added,
+            converged: true,
+        });
+        for c in view.iter() {
+            status.supersede(c, NodeStatus::Disabled);
+        }
+        polygons.push((key, view.to_region()));
+    });
+    polygons.sort_by_key(|&(key, _)| key);
+    ModelOutcome {
+        model: "CMFP".to_string(),
+        status,
+        regions: polygons.into_iter().map(|(_, region)| region).collect(),
+        rounds,
     }
 }
 

@@ -6,8 +6,13 @@
 //! coordinates of its nodes along both dimensions — the corners of its
 //! *virtual faulty block*.
 
-use mesh2d::{Connectivity, Coord, FaultSet, Rect, Region};
+use mesh2d::{BitGrid, BitScratch, Connectivity, Coord, FaultSet, Rect, Region};
 use serde::{Deserialize, Serialize};
+
+/// Size cap under which [`merge_components`] re-verifies against the
+/// scalar `Region::components` oracle in debug builds (larger fault sets
+/// are pinned by the property tests).
+const ORACLE_NODE_CAP: usize = 1024;
 
 /// A maximal set of mutually 8-adjacent faulty nodes, together with the
 /// bounding-box bookkeeping (`min_x`, `min_y`, `max_x`, `max_y`) the merge
@@ -83,13 +88,35 @@ impl FaultyComponent {
 /// The merge process: groups the faulty nodes into components of adjacent
 /// (8-neighborhood) faulty nodes. Components are returned in deterministic
 /// order (by their smallest node).
+///
+/// Labelling runs as a word-scan flood over the packed fault bitmap
+/// (find-first-set seeds, whole-word frontier expansion); the scalar
+/// `Region::components` decomposition remains the debug oracle.
 pub fn merge_components(faults: &FaultSet) -> Vec<FaultyComponent> {
-    faults
-        .region()
-        .components(Connectivity::Eight)
-        .into_iter()
-        .map(FaultyComponent::new)
-        .collect()
+    merge_components_with(faults, &mut BitScratch::new())
+}
+
+/// [`merge_components`] with caller-provided flood scratch buffers, for
+/// allocation-free steady-state use by the sweep loops.
+pub fn merge_components_with(faults: &FaultSet, scratch: &mut BitScratch) -> Vec<FaultyComponent> {
+    let bits = BitGrid::from_coords(faults.in_insertion_order().iter().copied());
+    let components: Vec<FaultyComponent> = bits
+        .components_with(Connectivity::Eight, scratch)
+        .iter()
+        .map(|comp| FaultyComponent::new(comp.to_region()))
+        .collect();
+    debug_assert!(
+        faults.len() > ORACLE_NODE_CAP
+            || components
+                == faults
+                    .region()
+                    .components(Connectivity::Eight)
+                    .into_iter()
+                    .map(FaultyComponent::new)
+                    .collect::<Vec<_>>(),
+        "word-flood merge process diverged from the scalar oracle"
+    );
+    components
 }
 
 #[cfg(test)]

@@ -23,7 +23,94 @@ use crate::centralized::VirtualBlockSolver;
 use crate::component::FaultyComponent;
 use crate::concave::ConcaveSectionSolver;
 use distsim::RoundStats;
-use mesh2d::{Connectivity, Coord, Mesh2D, Region};
+use mesh2d::{BitGrid, BitScratch, Connectivity, Coord, Mesh2D, Rect, Region};
+
+/// Size cap under which the bit-parallel concave-section construction
+/// re-verifies against the scalar [`ConcaveSectionSolver`] in debug builds.
+const ORACLE_NODE_CAP: usize = 1024;
+
+/// Reusable buffers threaded through the construction entry points so the
+/// hull fixpoint and the callers' flood fills allocate nothing in steady
+/// state: one re-framable occupancy grid plus the flood/fill scratch set.
+///
+/// One scratch serves a whole sweep (the batch models) or the entire
+/// lifetime of an incremental engine; [`grows`](Self::grows) exposes how
+/// often any buffer had to grow, which the no-allocation tests pin.
+#[derive(Clone, Debug, Default)]
+pub struct ConstructionScratch {
+    /// Occupancy grid reused across components (re-framed per component).
+    grid: BitGrid,
+    /// Flood / gap-fill working buffers.
+    bits: BitScratch,
+    /// Times `grid`'s backing storage grew.
+    grid_grows: u64,
+}
+
+impl ConstructionScratch {
+    /// Fresh, empty scratch space.
+    pub fn new() -> Self {
+        ConstructionScratch::default()
+    }
+
+    /// Total number of buffer growths since construction. Constant across
+    /// calls ⇔ the construction ran allocation-free (steady state).
+    pub fn grows(&self) -> u64 {
+        self.grid_grows + self.bits.grows()
+    }
+
+    /// The flood scratch, for callers that run their own component floods
+    /// between constructions (the incremental engine's localized re-flood).
+    pub fn flood_scratch(&mut self) -> &mut BitScratch {
+        &mut self.bits
+    }
+
+    /// Word-flood decomposition of `cells` (which must lie inside `bbox`)
+    /// into its 8-connected components on the scratch buffers — the
+    /// incremental engine's localized re-flood after a repair. Only the
+    /// returned component grids are allocated.
+    pub fn flood_components(&mut self, cells: &Region, bbox: Rect) -> Vec<BitGrid> {
+        if self.grid.reset_frame(bbox.min(), bbox.max()) {
+            self.grid_grows += 1;
+        }
+        for c in cells.iter() {
+            self.grid.set(c);
+        }
+        self.grid
+            .components_with(Connectivity::Eight, &mut self.bits)
+    }
+}
+
+/// The concave-section (solution 2) construction of one component's
+/// minimum polygon over an arbitrary cell iterator, on scratch buffers:
+/// the bit-parallel hull fixpoint inside the component's bounding box.
+///
+/// `cells` must be the nodes of one 8-connected component and `bbox` its
+/// bounding rectangle. The returned iteration count matches the scalar
+/// [`ConcaveSectionSolver`]'s scan-then-fill rounds exactly.
+pub(crate) fn concave_polygon_with(
+    cells: impl Iterator<Item = Coord>,
+    cell_count: usize,
+    bbox: Rect,
+    scratch: &mut ConstructionScratch,
+) -> ComponentPolygon {
+    if scratch.grid.reset_frame(bbox.min(), bbox.max()) {
+        scratch.grid_grows += 1;
+    }
+    for c in cells {
+        scratch.grid.set(c);
+    }
+    let (iterations, added) = scratch.grid.hull_fixpoint(&mut scratch.bits);
+    let polygon = scratch.grid.to_region();
+    debug_assert_eq!(polygon.len(), cell_count + added as usize);
+    ComponentPolygon {
+        polygon,
+        rounds: RoundStats {
+            rounds: iterations,
+            events: added,
+            converged: true,
+        },
+    }
+}
 
 /// The minimum faulty polygon of a single component, with the round
 /// accounting of the construction that produced it.
@@ -47,6 +134,19 @@ pub fn construct_component(
     component: &FaultyComponent,
     solution: CentralizedSolution,
 ) -> ComponentPolygon {
+    construct_component_with(mesh, component, solution, &mut ConstructionScratch::new())
+}
+
+/// [`construct_component`] with caller-provided scratch buffers: the batch
+/// models thread one scratch across every component of a sweep, and the
+/// incremental engine threads one across its whole event stream, so the
+/// hull fixpoint allocates nothing in steady state.
+pub fn construct_component_with(
+    mesh: &Mesh2D,
+    component: &FaultyComponent,
+    solution: CentralizedSolution,
+    scratch: &mut ConstructionScratch,
+) -> ComponentPolygon {
     match solution {
         CentralizedSolution::VirtualBlock => {
             let sol = VirtualBlockSolver.solve(mesh, component);
@@ -56,16 +156,60 @@ pub fn construct_component(
             }
         }
         CentralizedSolution::ConcaveSections => {
-            let (polygon, iterations) = ConcaveSectionSolver.solve(component);
-            let added = (polygon.len() - component.len()) as u64;
-            ComponentPolygon {
-                polygon,
-                rounds: RoundStats {
-                    rounds: iterations,
-                    events: added,
-                    converged: true,
+            let sol = concave_polygon_with(
+                component.iter(),
+                component.len(),
+                component.virtual_block(),
+                scratch,
+            );
+            debug_assert!(
+                component.len() > ORACLE_NODE_CAP || {
+                    let (oracle_polygon, oracle_iterations) = ConcaveSectionSolver.solve(component);
+                    oracle_polygon == sol.polygon && oracle_iterations == sol.rounds.rounds
                 },
-            }
+                "bit-parallel concave-section construction diverged from the scalar solver"
+            );
+            sol
+        }
+    }
+}
+
+/// Per-component construction over a live cell set with its maintained
+/// bounding box — the incremental engine's entry point: no
+/// [`FaultyComponent`] is materialized and, for the concave-section
+/// solution, no intermediate `Region` either, so a steady-state caller
+/// holding one [`ConstructionScratch`] allocates only the output polygon.
+pub fn construct_cells_with(
+    mesh: &Mesh2D,
+    cells: &Region,
+    bbox: Rect,
+    solution: CentralizedSolution,
+    scratch: &mut ConstructionScratch,
+) -> ComponentPolygon {
+    debug_assert!(!cells.is_empty(), "components are never empty");
+    debug_assert_eq!(
+        Some(bbox),
+        cells.bounding_rect(),
+        "bbox must be the cells' bounding rectangle"
+    );
+    match solution {
+        CentralizedSolution::VirtualBlock => construct_component_with(
+            mesh,
+            &FaultyComponent::new(cells.clone()),
+            solution,
+            scratch,
+        ),
+        CentralizedSolution::ConcaveSections => {
+            let sol = concave_polygon_with(cells.iter(), cells.len(), bbox, scratch);
+            debug_assert!(
+                cells.len() > ORACLE_NODE_CAP
+                    || sol.polygon
+                        == ConcaveSectionSolver
+                            .solve(&FaultyComponent::new(cells.clone()))
+                            .0,
+                "bit-parallel cell-set construction diverged from the scalar solver"
+            );
+            sol
         }
     }
 }

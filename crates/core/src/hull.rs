@@ -8,17 +8,31 @@
 //! tested against.
 
 use crate::component::FaultyComponent;
-use mesh2d::Region;
+use mesh2d::{BitGrid, BitScratch, Region};
+
+/// Size cap under which the bit-parallel hull re-verifies against the
+/// scalar [`Region::orthogonal_convex_hull`] in debug builds.
+const ORACLE_NODE_CAP: usize = 1024;
 
 /// The minimum orthogonal convex polygon covering `component`: the
 /// component's faults plus every node forced by Definition 1.
 ///
-/// This is the *specification* implementation (iterated row/column gap
-/// filling on a [`Region`]); the production solvers in
-/// [`centralized`](crate::centralized), [`concave`](crate::concave) and
-/// [`distributed`](crate::distributed) are all verified against it.
+/// Computed by the bit-parallel hull fixpoint (per-row occupied spans from
+/// leading/trailing-zero counts, word-parallel column fills); the scalar
+/// specification — iterated row/column gap filling on a [`Region`]
+/// ([`Region::orthogonal_convex_hull`]) — remains the oracle this and the
+/// production solvers in [`centralized`](crate::centralized),
+/// [`concave`](crate::concave) and [`distributed`](crate::distributed)
+/// are verified against.
 pub fn minimum_polygon(component: &FaultyComponent) -> Region {
-    component.region().orthogonal_convex_hull()
+    let mut bits = BitGrid::from_region(component.region());
+    bits.hull_fixpoint(&mut BitScratch::new());
+    let hull = bits.to_region();
+    debug_assert!(
+        component.len() > ORACLE_NODE_CAP || hull == component.region().orthogonal_convex_hull(),
+        "bit-parallel minimum polygon diverged from the scalar hull"
+    );
+    hull
 }
 
 /// Number of non-faulty nodes the minimum polygon of `component` contains.

@@ -68,9 +68,12 @@ pub mod superseding;
 pub mod verify;
 
 pub use analysis::{CentralizedMfpModel, CentralizedSolution, MfpAnalysis};
-pub use component::{merge_components, FaultyComponent};
+pub use component::{merge_components, merge_components_with, FaultyComponent};
 pub use concave::{concave_sections, ConcaveSection, Orientation};
-pub use construction::{construct_component, polygon_from_cells, ComponentPolygon};
+pub use construction::{
+    construct_cells_with, construct_component, construct_component_with, polygon_from_cells,
+    ComponentPolygon, ConstructionScratch,
+};
 pub use distributed::protocol::DistributedMfpModel;
 pub use hull::minimum_polygon;
 pub use registry::{ablation_registry, standard_registry};

@@ -191,6 +191,29 @@ impl<T: MeshTopology> FaultInjector<T> {
             self.weights.mark_faulty(victim_index, [])
         };
         self.log.push(record);
+        debug_assert!(
+            self.mesh.node_count() > 1024 || self.boost_set_matches_dilation(),
+            "clustered weight-2 set diverged from the cluster-neighborhood dilation"
+        );
+    }
+
+    /// Cross-check of the clustered model's bookkeeping against the
+    /// bit-parallel dilation kernel: the weight-2 (boosted) nodes must be
+    /// exactly the healthy in-mesh nodes of `dilate_cluster(faults) \
+    /// faults`. Debug-only; sampled on small meshes by `mark_faulty` and
+    /// pinned by the property tests beyond.
+    fn boost_set_matches_dilation(&self) -> bool {
+        use mocp_topology::BitmapOps;
+        if self.distribution != FaultDistribution::Clustered {
+            return true;
+        }
+        let faults = T::Bitmap::from_coords(self.faults.in_insertion_order());
+        let mut boosted = faults.dilate_cluster();
+        boosted.subtract(&faults);
+        (0..self.mesh.node_count()).all(|i| {
+            let in_boost = boosted.contains(self.mesh.coord(i));
+            (self.weights.weight_of(i) == 2) == in_boost
+        })
     }
 
     /// Un-injects the most recent fault, restoring the weight bookkeeping

@@ -1,0 +1,226 @@
+//! Bit-parallel execution of labelling schemes 1 and 2.
+//!
+//! Both labelling schemes are *local rules*: a node's next state depends
+//! only on its own state and its four mesh neighbors' states. On the
+//! word-packed node masks of [`mesh2d::bitgrid`] one synchronous round of
+//! either rule is a handful of shift-and-OR word operations per row —
+//! 64 nodes per instruction instead of one node per `step` call — while
+//! the round structure (and therefore the Figure 11 round counts) is
+//! exactly that of the scalar [`run_local_rule`](distsim::run_local_rule)
+//! execution:
+//!
+//! * **scheme 1** (growing): a safe node with an unsafe west/east neighbor
+//!   *and* an unsafe north/south neighbor becomes unsafe —
+//!   `(W | E) & (N | S)` on shifted word masks;
+//! * **scheme 2** (shrinking): a disabled non-faulty node with two or more
+//!   enabled neighbors is re-enabled — the 2-of-4 majority
+//!   `(W&E)|(W&N)|(W&S)|(E&N)|(E&S)|(N&S)`.
+//!
+//! The scalar rules remain in [`scheme1`](crate::scheme1) /
+//! [`scheme2`](crate::scheme2) as the oracles; `label_safety` /
+//! `label_activation` verify against them with `debug_assert` on small
+//! meshes, and the property tests pin larger instances.
+
+use distsim::RoundStats;
+use mesh2d::bitgrid::{shift_east_neighbor, shift_west_neighbor};
+use mesh2d::{Coord, FaultSet, Mesh2D};
+
+/// Packed per-row node masks of one mesh: `width_words` words per row,
+/// bit `x` of row `y` = node `(x, y)`.
+pub(crate) struct PackedMesh {
+    pub width_words: usize,
+    pub height: usize,
+    /// Mask of valid bits in the last word of each row.
+    pub last_mask: u64,
+}
+
+impl PackedMesh {
+    pub fn new(mesh: &Mesh2D) -> Self {
+        let width = mesh.width() as usize;
+        let width_words = width.div_ceil(64);
+        let rem = width % 64;
+        PackedMesh {
+            width_words,
+            height: mesh.height() as usize,
+            last_mask: if rem == 0 { !0 } else { (1u64 << rem) - 1 },
+        }
+    }
+
+    pub fn words(&self) -> usize {
+        self.width_words * self.height
+    }
+
+    /// Packs the faults of `faults` into row masks.
+    pub fn pack_faults(&self, faults: &FaultSet) -> Vec<u64> {
+        let mut rows = vec![0u64; self.words()];
+        for &c in faults.in_insertion_order() {
+            rows[(c.y as usize) * self.width_words + (c.x as usize) / 64] |=
+                1u64 << (c.x as usize % 64);
+        }
+        rows
+    }
+
+    /// True when the packed `rows` contain node `c`.
+    pub fn bit(&self, rows: &[u64], c: Coord) -> bool {
+        rows[(c.y as usize) * self.width_words + (c.x as usize) / 64]
+            & (1u64 << (c.x as usize % 64))
+            != 0
+    }
+
+    /// Applies the valid-width mask to one row slice.
+    #[inline]
+    fn mask_row(&self, row: &mut [u64]) {
+        if let Some(last) = row.last_mut() {
+            *last &= self.last_mask;
+        }
+    }
+}
+
+/// Runs labelling scheme 1 to its fixpoint on packed masks. `unsafe_rows`
+/// enters holding the faulty nodes and leaves holding the unsafe set; the
+/// returned stats count synchronous rounds and per-node state changes
+/// exactly as the scalar engine does.
+pub(crate) fn scheme1_fixpoint(packed: &PackedMesh, unsafe_rows: &mut [u64]) -> RoundStats {
+    let ww = packed.width_words;
+    let mut stats = RoundStats::quiescent();
+    let mut west = vec![0u64; ww];
+    let mut east = vec![0u64; ww];
+    let mut add = vec![0u64; packed.words()];
+    loop {
+        let mut changed = 0u64;
+        for y in 0..packed.height {
+            let row = &unsafe_rows[y * ww..(y + 1) * ww];
+            shift_west_neighbor(row, &mut west);
+            shift_east_neighbor(row, &mut east);
+            let add_row = &mut add[y * ww..(y + 1) * ww];
+            for j in 0..ww {
+                let horizontal = west[j] | east[j];
+                let mut vertical = 0;
+                if y > 0 {
+                    vertical |= unsafe_rows[(y - 1) * ww + j];
+                }
+                if y + 1 < packed.height {
+                    vertical |= unsafe_rows[(y + 1) * ww + j];
+                }
+                add_row[j] = horizontal & vertical & !row[j];
+            }
+            packed.mask_row(add_row);
+            changed += add_row.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+        }
+        if changed == 0 {
+            break;
+        }
+        for (u, &a) in unsafe_rows.iter_mut().zip(&add) {
+            *u |= a;
+        }
+        stats.rounds += 1;
+        stats.events += changed;
+    }
+    stats
+}
+
+/// Runs labelling scheme 2 to its fixpoint on packed masks.
+/// `enabled_rows` enters holding the initially-enabled (safe) nodes and
+/// leaves holding the final enabled set; `faulty_rows` never re-enable.
+pub(crate) fn scheme2_fixpoint(
+    packed: &PackedMesh,
+    faulty_rows: &[u64],
+    enabled_rows: &mut [u64],
+) -> RoundStats {
+    let ww = packed.width_words;
+    let mut stats = RoundStats::quiescent();
+    let mut west = vec![0u64; ww];
+    let mut east = vec![0u64; ww];
+    let mut add = vec![0u64; packed.words()];
+    loop {
+        let mut changed = 0u64;
+        for y in 0..packed.height {
+            let row = &enabled_rows[y * ww..(y + 1) * ww];
+            shift_west_neighbor(row, &mut west);
+            shift_east_neighbor(row, &mut east);
+            let add_row = &mut add[y * ww..(y + 1) * ww];
+            for j in 0..ww {
+                let (w, e) = (west[j], east[j]);
+                let n = if y > 0 {
+                    enabled_rows[(y - 1) * ww + j]
+                } else {
+                    0
+                };
+                let s = if y + 1 < packed.height {
+                    enabled_rows[(y + 1) * ww + j]
+                } else {
+                    0
+                };
+                // Two or more of the four neighbor masks set.
+                let majority2 = (w & e) | (w & n) | (w & s) | (e & n) | (e & s) | (n & s);
+                add_row[j] = majority2 & !row[j] & !faulty_rows[y * ww + j];
+            }
+            packed.mask_row(add_row);
+            changed += add_row.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+        }
+        if changed == 0 {
+            break;
+        }
+        for (en, &a) in enabled_rows.iter_mut().zip(&add) {
+            *en |= a;
+        }
+        stats.rounds += 1;
+        stats.events += changed;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faults(mesh: Mesh2D, list: &[(i32, i32)]) -> FaultSet {
+        FaultSet::from_coords(mesh, list.iter().map(|&(x, y)| Coord::new(x, y)))
+    }
+
+    #[test]
+    fn packing_round_trips_faults() {
+        let mesh = Mesh2D::mesh(70, 5);
+        let fs = faults(mesh, &[(0, 0), (63, 1), (64, 2), (69, 4)]);
+        let packed = PackedMesh::new(&mesh);
+        assert_eq!(packed.width_words, 2);
+        assert_eq!(packed.last_mask, (1 << 6) - 1);
+        let rows = packed.pack_faults(&fs);
+        for &c in fs.in_insertion_order() {
+            assert!(packed.bit(&rows, c));
+        }
+        assert!(!packed.bit(&rows, Coord::new(1, 0)));
+    }
+
+    #[test]
+    fn scheme1_diagonal_pair_grows_to_square_in_one_round() {
+        let mesh = Mesh2D::square(8);
+        let fs = faults(mesh, &[(2, 2), (3, 3)]);
+        let packed = PackedMesh::new(&mesh);
+        let mut rows = packed.pack_faults(&fs);
+        let stats = scheme1_fixpoint(&packed, &mut rows);
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.events, 2);
+        assert!(packed.bit(&rows, Coord::new(2, 3)));
+        assert!(packed.bit(&rows, Coord::new(3, 2)));
+    }
+
+    #[test]
+    fn scheme2_reenables_block_corners() {
+        let mesh = Mesh2D::square(8);
+        let fs = faults(mesh, &[(2, 2), (3, 3)]);
+        let packed = PackedMesh::new(&mesh);
+        let faulty = packed.pack_faults(&fs);
+        let mut unsafe_rows = faulty.clone();
+        scheme1_fixpoint(&packed, &mut unsafe_rows);
+        // enabled = safe = !unsafe within the mesh.
+        let mut enabled: Vec<u64> = unsafe_rows.iter().map(|w| !w).collect();
+        for y in 0..packed.height {
+            packed.mask_row(&mut enabled[y * packed.width_words..(y + 1) * packed.width_words]);
+        }
+        let stats = scheme2_fixpoint(&packed, &faulty, &mut enabled);
+        assert!(stats.rounds >= 1);
+        assert!(packed.bit(&enabled, Coord::new(2, 3)), "corner re-enabled");
+        assert!(!packed.bit(&enabled, Coord::new(2, 2)), "fault stays off");
+    }
+}

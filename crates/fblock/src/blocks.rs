@@ -3,7 +3,9 @@
 use crate::model::{FaultModel, ModelOutcome};
 use crate::scheme1::label_safety;
 use distsim::RoundStats;
-use mesh2d::{Connectivity, FaultSet, Grid, Mesh2D, NodeStatus, Rect, Region, Safety, StatusMap};
+use mesh2d::{
+    BitGrid, Connectivity, FaultSet, Grid, Mesh2D, NodeStatus, Rect, Region, Safety, StatusMap,
+};
 
 /// Extracts the rectangular faulty blocks from a scheme-1 safety labelling:
 /// the 4-connected components of unsafe nodes together with their bounding
@@ -13,17 +15,30 @@ use mesh2d::{Connectivity, FaultSet, Grid, Mesh2D, NodeStatus, Rect, Region, Saf
 /// rectangle; the returned pairs let callers verify that
 /// (`region.len() == rect.area()`).
 pub fn extract_faulty_blocks(safety: &Grid<Safety>) -> Vec<(Rect, Region)> {
-    let unsafe_region = Region::from_coords(safety.coords_where(|&s| s == Safety::Unsafe));
-    unsafe_region
+    let bits = BitGrid::from_coords(safety.coords_where(|&s| s == Safety::Unsafe));
+    let blocks: Vec<(Rect, Region)> = bits
         .components(Connectivity::Four)
         .into_iter()
         .map(|comp| {
             let rect = comp
                 .bounding_rect()
                 .expect("non-empty component always has a bounding box");
-            (rect, comp)
+            (rect, comp.to_region())
         })
-        .collect()
+        .collect();
+    debug_assert!(
+        safety.len() > 1024 || {
+            let oracle: Vec<(Rect, Region)> =
+                Region::from_coords(safety.coords_where(|&s| s == Safety::Unsafe))
+                    .components(Connectivity::Four)
+                    .into_iter()
+                    .map(|comp| (comp.bounding_rect().expect("non-empty"), comp))
+                    .collect();
+            oracle == blocks
+        },
+        "word-flood block extraction diverged from the scalar oracle"
+    );
+    blocks
 }
 
 /// The classical rectangular faulty block model (FB).

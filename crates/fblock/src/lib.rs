@@ -12,9 +12,14 @@
 //!   polygons.
 //!
 //! Both schemes are *local rules* — every node updates from its own state and
-//! its 4-neighbors' states — and are executed on the synchronous round engine
-//! of the `distsim` crate so that the round counts reported in Figure 11 fall
-//! out of the construction itself.
+//! its 4-neighbors' states. The production path executes them
+//! **bit-parallel** (the crate-internal `bitlabel` kernels): each synchronous round is a
+//! shift-and-OR pass over word-packed node masks, 64 nodes per operation,
+//! with the identical round structure as the scalar execution on the
+//! synchronous round engine of the `distsim` crate — which remains the
+//! oracle (`label_safety_scalar` / `label_activation_scalar`) — so the
+//! round counts reported in Figure 11 still fall out of the construction
+//! itself.
 //!
 //! The crate also re-exports the dimension-generic [`FaultModel`] trait
 //! from `mocp_topology` (its topology parameter defaults to `Mesh2D`, so
@@ -27,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub(crate) mod bitlabel;
 pub mod blocks;
 pub mod model;
 pub mod registry;
@@ -36,5 +42,5 @@ pub mod scheme2;
 pub use blocks::{extract_faulty_blocks, FaultyBlockModel};
 pub use model::{FaultModel, ModelOutcome, Outcome};
 pub use registry::{baseline_registry, BoxedModel, ModelRegistry, NamedRegistry, UnknownModel};
-pub use scheme1::label_safety;
-pub use scheme2::{label_activation, SubMinimumPolygonModel};
+pub use scheme1::{label_safety, label_safety_scalar};
+pub use scheme2::{label_activation, label_activation_scalar, SubMinimumPolygonModel};

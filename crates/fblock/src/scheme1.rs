@@ -64,7 +64,36 @@ impl LocalRuleAutomaton for Scheme1Rule<'_> {
 /// Returns the per-node safety labels and the number of rounds of neighbor
 /// information exchange the distributed execution needed — the FB round count
 /// of Figure 11.
+///
+/// Executes bit-parallel (the rule is a shift-and-OR over word-packed node
+/// masks, 64 nodes at a time); the synchronous round structure — and so the
+/// returned [`RoundStats`] — is identical to the scalar
+/// [`label_safety_scalar`], which remains the oracle it is `debug_assert`ed
+/// and property-tested against.
 pub fn label_safety(mesh: &Mesh2D, faults: &FaultSet) -> (Grid<Safety>, RoundStats) {
+    let packed = crate::bitlabel::PackedMesh::new(mesh);
+    let mut unsafe_rows = packed.pack_faults(faults);
+    let stats = crate::bitlabel::scheme1_fixpoint(&packed, &mut unsafe_rows);
+    let grid = Grid::from_fn(mesh.width() as u32, mesh.height() as u32, |c| {
+        if packed.bit(&unsafe_rows, c) {
+            Safety::Unsafe
+        } else {
+            Safety::Safe
+        }
+    });
+    debug_assert!(
+        mesh.node_count() > 1024 || {
+            let (oracle_grid, oracle_stats) = label_safety_scalar(mesh, faults);
+            oracle_grid == grid && oracle_stats == stats
+        },
+        "bit-parallel scheme 1 diverged from the local-rule oracle"
+    );
+    (grid, stats)
+}
+
+/// The scalar specification of [`label_safety`]: labelling scheme 1 as a
+/// per-node local rule on the synchronous [`run_local_rule`] engine.
+pub fn label_safety_scalar(mesh: &Mesh2D, faults: &FaultSet) -> (Grid<Safety>, RoundStats) {
     run_local_rule(mesh, &Scheme1Rule::new(faults))
 }
 

@@ -12,9 +12,7 @@
 use crate::model::{FaultModel, ModelOutcome};
 use crate::scheme1::label_safety;
 use distsim::{run_local_rule, LocalRuleAutomaton, RoundStats};
-use mesh2d::{
-    Activation, Connectivity, Coord, FaultSet, Grid, Mesh2D, NodeStatus, Region, Safety, StatusMap,
-};
+use mesh2d::{Activation, Coord, FaultSet, Grid, Mesh2D, NodeStatus, Region, Safety, StatusMap};
 
 /// Labelling scheme 2 as a local rule over [`Activation`] states.
 ///
@@ -70,7 +68,47 @@ impl LocalRuleAutomaton for Scheme2Rule<'_> {
 /// Runs labelling scheme 2 to its fixpoint on top of an existing scheme-1
 /// labelling. Returns the activation grid and the *additional* rounds the
 /// shrinking phase needed.
+///
+/// Executes bit-parallel (the 2-of-4 enabled-neighbor majority is a
+/// pairwise AND/OR over shifted word masks); the synchronous round
+/// structure — and so the returned [`RoundStats`] — is identical to the
+/// scalar [`label_activation_scalar`] oracle.
 pub fn label_activation(
+    mesh: &Mesh2D,
+    faults: &FaultSet,
+    safety: &Grid<Safety>,
+) -> (Grid<Activation>, RoundStats) {
+    let packed = crate::bitlabel::PackedMesh::new(mesh);
+    let faulty_rows = packed.pack_faults(faults);
+    // Initially enabled = the safe nodes of the scheme-1 labelling.
+    let ww = packed.width_words;
+    let mut enabled = vec![0u64; packed.words()];
+    for (c, &s) in safety.iter() {
+        if s == Safety::Safe {
+            enabled[(c.y as usize) * ww + (c.x as usize) / 64] |= 1u64 << (c.x as usize % 64);
+        }
+    }
+    let stats = crate::bitlabel::scheme2_fixpoint(&packed, &faulty_rows, &mut enabled);
+    let grid = Grid::from_fn(mesh.width() as u32, mesh.height() as u32, |c| {
+        if packed.bit(&enabled, c) {
+            Activation::Enabled
+        } else {
+            Activation::Disabled
+        }
+    });
+    debug_assert!(
+        mesh.node_count() > 1024 || {
+            let (oracle_grid, oracle_stats) = label_activation_scalar(mesh, faults, safety);
+            oracle_grid == grid && oracle_stats == stats
+        },
+        "bit-parallel scheme 2 diverged from the local-rule oracle"
+    );
+    (grid, stats)
+}
+
+/// The scalar specification of [`label_activation`]: labelling scheme 2 as
+/// a per-node local rule on the synchronous [`run_local_rule`] engine.
+pub fn label_activation_scalar(
     mesh: &Mesh2D,
     faults: &FaultSet,
     safety: &Grid<Safety>,
@@ -103,7 +141,7 @@ impl SubMinimumPolygonModel {
                 status.supersede(c, NodeStatus::Disabled);
             }
         }
-        let regions = status.excluded_region().components(Connectivity::Four);
+        let regions = ModelOutcome::regions_from_status(&status);
         let outcome = ModelOutcome {
             model: "FP".to_string(),
             status,

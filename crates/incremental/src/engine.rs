@@ -1,13 +1,16 @@
 //! The event-driven maintenance engine.
 
 use mesh2d::{
-    Connectivity, Coord, FaultEvent, FaultSet, Grid, Mesh2D, NodeStatus, Rect, Region, StatusDelta,
-    StatusMap,
+    BitGrid, Connectivity, Coord, FaultEvent, FaultSet, Grid, Mesh2D, NodeStatus, Rect, Region,
+    StatusDelta, StatusMap,
 };
-use mocp_core::construction::polygon_from_cells;
+use mocp_core::construction::{construct_cells_with, ConstructionScratch};
 use mocp_core::CentralizedSolution;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+
+/// Size cap under which the localized re-flood re-verifies against the
+/// scalar `Region::components` oracle in debug builds.
+const ORACLE_NODE_CAP: usize = 1024;
 
 /// Sentinel component id for healthy nodes.
 const NO_COMPONENT: u32 = u32::MAX;
@@ -19,8 +22,11 @@ struct Component {
     cells: Region,
     /// The virtual faulty block (bounding box) the merge process maintains.
     bbox: Rect,
-    /// Cached minimum orthogonal convex polygon of `cells`.
-    polygon: Region,
+    /// Cached minimum orthogonal convex polygon of `cells`, word-packed:
+    /// O(1) membership for the cache-hit shortcut, word-speed iteration
+    /// for the cover-count install/retire, and an allocation reused
+    /// across recomputes (`reset_frame`).
+    polygon: BitGrid,
 }
 
 /// Counters describing how much work the engine actually did — the evidence
@@ -68,6 +74,17 @@ pub struct IncrementalEngine {
     /// Live component count — denominator of the Figure 10 metric.
     live: usize,
     stats: EngineStats,
+    /// Reusable construction / flood buffers: the hull fixpoint and the
+    /// localized re-flood run allocation-free once these reach the
+    /// working-set size.
+    scratch: ConstructionScratch,
+    /// Reusable per-event buffer of nodes whose derived status must be
+    /// refreshed (duplicates allowed — `refresh` is idempotent).
+    touched: Vec<Coord>,
+    /// Polygon grid retired by the last merge/repair, handed back to the
+    /// next recompute of a component that has no buffer of its own yet —
+    /// so merges and splits recycle instead of reallocating.
+    spare_polygon: BitGrid,
 }
 
 impl IncrementalEngine {
@@ -94,6 +111,9 @@ impl IncrementalEngine {
             polygon_total: 0,
             live: 0,
             stats: EngineStats::default(),
+            scratch: ConstructionScratch::new(),
+            touched: Vec::new(),
+            spare_polygon: BitGrid::empty(),
         }
     }
 
@@ -127,6 +147,14 @@ impl IncrementalEngine {
         &self.stats
     }
 
+    /// How many times the reusable construction/flood buffers had to grow.
+    /// Constant across events ⇔ the engine's hull fixpoint and localized
+    /// re-flood run allocation-free (the steady-state no-alloc property
+    /// the tests pin).
+    pub fn scratch_grows(&self) -> u64 {
+        self.scratch.grows()
+    }
+
     /// Number of live faulty components.
     pub fn component_count(&self) -> usize {
         self.live
@@ -151,7 +179,7 @@ impl IncrementalEngine {
     /// cell — the same deterministic order the batch construction
     /// ([`mocp_core::merge_components`]) produces.
     pub fn polygons(&self) -> Vec<Region> {
-        let mut with_key: Vec<(Coord, &Region)> = self
+        let mut with_key: Vec<(Coord, &BitGrid)> = self
             .components
             .iter()
             .flatten()
@@ -165,7 +193,7 @@ impl IncrementalEngine {
             })
             .collect();
         with_key.sort_by_key(|&(key, _)| key);
-        with_key.into_iter().map(|(_, p)| p.clone()).collect()
+        with_key.into_iter().map(|(_, p)| p.to_region()).collect()
     }
 
     /// The maintained virtual faulty blocks (per-component bounding boxes),
@@ -229,8 +257,9 @@ impl IncrementalEngine {
             }
         }
 
-        let mut touched = BTreeSet::new();
-        touched.insert(c);
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+        touched.push(c);
 
         if let [only] = adjacent[..] {
             let comp = self.components[only as usize]
@@ -245,6 +274,7 @@ impl IncrementalEngine {
                 self.comp_id.set(c, only);
                 self.stats.cache_hits += 1;
                 self.refresh(c, &mut delta);
+                self.touched = touched;
                 return delta;
             }
         }
@@ -253,7 +283,7 @@ impl IncrementalEngine {
             let id = self.alloc(Component {
                 cells: Region::from_coords([c]),
                 bbox: Rect::single(c),
-                polygon: Region::new(),
+                polygon: BitGrid::empty(),
             });
             self.live += 1;
             id
@@ -288,13 +318,16 @@ impl IncrementalEngine {
                     .expanded_to(absorbed.bbox.min())
                     .expanded_to(absorbed.bbox.max());
             }
-            // Retire the surviving component's own stale polygon.
-            let old = self.components[keep as usize]
-                .as_ref()
-                .expect("keep is live")
-                .polygon
-                .clone();
+            // Retire the surviving component's own stale polygon (taken
+            // out wholesale; recompute installs the replacement).
+            let old = std::mem::take(
+                &mut self.components[keep as usize]
+                    .as_mut()
+                    .expect("keep is live")
+                    .polygon,
+            );
             self.retire_polygon(&old, &mut touched);
+            self.spare_polygon = old;
             let comp = self.components[keep as usize]
                 .as_mut()
                 .expect("keep is live");
@@ -308,6 +341,7 @@ impl IncrementalEngine {
         for &t in &touched {
             self.refresh(t, &mut delta);
         }
+        self.touched = touched;
         delta
     }
 
@@ -328,17 +362,27 @@ impl IncrementalEngine {
             .expect("faulty nodes map to live components");
         comp.cells.remove(c);
 
-        let mut touched = BTreeSet::new();
-        touched.insert(c);
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+        touched.push(c);
         self.retire_polygon(&comp.polygon, &mut touched);
+        self.spare_polygon = std::mem::take(&mut comp.polygon);
 
         if comp.cells.is_empty() {
             self.free.push(id);
             self.live -= 1;
         } else {
             // Localized re-flood: only this component's surviving cells are
-            // visited. The largest piece keeps the id (and so most labels).
-            let mut pieces = comp.cells.components(Connectivity::Eight);
+            // visited, as a word-scan flood over the component's bounding
+            // box (the scalar decomposition remains the debug oracle). The
+            // largest piece keeps the id (and so most labels).
+            let piece_grids = self.scratch.flood_components(&comp.cells, comp.bbox);
+            let mut pieces: Vec<Region> = piece_grids.iter().map(BitGrid::to_region).collect();
+            debug_assert!(
+                comp.cells.len() > ORACLE_NODE_CAP
+                    || pieces == comp.cells.components(Connectivity::Eight),
+                "word-flood repair re-flood diverged from the scalar oracle"
+            );
             if pieces.len() > 1 {
                 self.stats.splits += 1;
             }
@@ -355,7 +399,7 @@ impl IncrementalEngine {
                 let piece = Component {
                     cells,
                     bbox,
-                    polygon: Region::new(),
+                    polygon: BitGrid::empty(),
                 };
                 let piece_id = if i == 0 {
                     // The largest piece reclaims the old id; its cells are
@@ -383,40 +427,85 @@ impl IncrementalEngine {
         for &t in &touched {
             self.refresh(t, &mut delta);
         }
+        self.touched = touched;
         delta
     }
 
     /// Re-runs the per-component construction for one dirty component and
     /// installs the new polygon's coverage.
-    fn recompute(&mut self, id: u32, touched: &mut BTreeSet<Coord>) {
+    fn recompute(&mut self, id: u32, touched: &mut Vec<Coord>) {
         self.stats.recomputes += 1;
-        let cells = self.components[id as usize]
-            .as_ref()
-            .expect("dirty ids are live")
-            .cells
-            .clone();
-        let sol = polygon_from_cells(&self.mesh, cells.iter(), self.solution)
-            .expect("components are never empty");
-        for n in sol.polygon.iter() {
+        let comp = self.components[id as usize]
+            .as_mut()
+            .expect("dirty ids are live");
+        // Reuse the component's own polygon grid: re-frame it over the
+        // maintained bounding box, seed the live cells, and run the hull
+        // fixpoint in place — no per-event region or buffer allocation.
+        // Components without a buffer yet (fresh, post-merge, split
+        // pieces) recycle the grid the last merge/repair retired.
+        let mut polygon = std::mem::take(&mut comp.polygon);
+        if polygon.is_empty() {
+            // No bits ⇒ this component has no buffer yet (fresh singleton,
+            // post-merge survivor, or split piece — live polygons always
+            // hold bits): recycle the last retired grid's allocation.
+            polygon = std::mem::take(&mut self.spare_polygon);
+        }
+        match self.solution {
+            CentralizedSolution::ConcaveSections => {
+                polygon.reset_frame(comp.bbox.min(), comp.bbox.max());
+                for cell in comp.cells.iter() {
+                    polygon.set(cell);
+                }
+                polygon.hull_fixpoint(self.scratch.flood_scratch());
+                debug_assert!(
+                    comp.cells.len() > ORACLE_NODE_CAP
+                        || polygon.to_region()
+                            == construct_cells_with(
+                                &self.mesh,
+                                &comp.cells,
+                                comp.bbox,
+                                self.solution,
+                                &mut ConstructionScratch::new(),
+                            )
+                            .polygon,
+                    "in-place hull diverged from the construction entry point"
+                );
+            }
+            CentralizedSolution::VirtualBlock => {
+                let sol = construct_cells_with(
+                    &self.mesh,
+                    &comp.cells,
+                    comp.bbox,
+                    self.solution,
+                    &mut self.scratch,
+                );
+                polygon = BitGrid::from_region(&sol.polygon);
+            }
+        }
+        let mut size = 0usize;
+        for n in polygon.iter() {
+            size += 1;
             let w = self
                 .cover
                 .get_mut(n)
                 .expect("polygons stay inside the mesh");
             *w += 1;
             if *w == 1 {
-                touched.insert(n);
+                touched.push(n);
             }
         }
-        self.polygon_total += sol.polygon.len();
+        self.polygon_total += size;
         self.components[id as usize]
             .as_mut()
             .expect("dirty ids are live")
-            .polygon = sol.polygon;
+            .polygon = polygon;
     }
 
     /// Removes one polygon's contribution to the cover counts.
-    fn retire_polygon(&mut self, polygon: &Region, touched: &mut BTreeSet<Coord>) {
+    fn retire_polygon(&mut self, polygon: &BitGrid, touched: &mut Vec<Coord>) {
+        let mut size = 0usize;
         for n in polygon.iter() {
+            size += 1;
             let w = self
                 .cover
                 .get_mut(n)
@@ -424,10 +513,10 @@ impl IncrementalEngine {
             debug_assert!(*w > 0);
             *w -= 1;
             if *w == 0 {
-                touched.insert(n);
+                touched.push(n);
             }
         }
-        self.polygon_total -= polygon.len();
+        self.polygon_total -= size;
     }
 
     /// Recomputes the derived status of one node, recording any change.

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitgrid;
 pub mod coord;
 pub mod direction;
 pub mod fault;
@@ -43,6 +44,7 @@ pub mod render;
 pub mod status;
 pub mod topology;
 
+pub use bitgrid::{BitGrid, BitScratch};
 pub use coord::Coord;
 pub use direction::{Direction, Turn};
 pub use fault::{FaultEvent, FaultSet};

@@ -108,6 +108,11 @@ impl fmt::Display for NodeStatus {
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct StatusMap {
     grid: Grid<NodeStatus>,
+    /// Maintained count of non-faulty disabled (gray) nodes, so the
+    /// Figure 9 metric is O(1) instead of a whole-grid rescan.
+    disabled: usize,
+    /// Maintained count of faulty (black) nodes.
+    faulty: usize,
 }
 
 impl StatusMap {
@@ -115,6 +120,8 @@ impl StatusMap {
     pub fn all_enabled(mesh: &Mesh2D) -> Self {
         StatusMap {
             grid: Grid::for_mesh(mesh, NodeStatus::Enabled),
+            disabled: 0,
+            faulty: 0,
         }
     }
 
@@ -123,7 +130,7 @@ impl StatusMap {
     pub fn from_faults(mesh: &Mesh2D, faults: &Region) -> Self {
         let mut map = Self::all_enabled(mesh);
         for f in faults.iter() {
-            map.grid.set(f, NodeStatus::Faulty);
+            map.set(f, NodeStatus::Faulty);
         }
         map
     }
@@ -143,14 +150,29 @@ impl StatusMap {
 
     /// Sets the status of node `c` unconditionally.
     pub fn set(&mut self, c: Coord, status: NodeStatus) {
-        self.grid.set(c, status);
+        if let Some(cell) = self.grid.get_mut(c) {
+            match *cell {
+                NodeStatus::Disabled => self.disabled -= 1,
+                NodeStatus::Faulty => self.faulty -= 1,
+                NodeStatus::Enabled => {}
+            }
+            *cell = status;
+            match status {
+                NodeStatus::Disabled => self.disabled += 1,
+                NodeStatus::Faulty => self.faulty += 1,
+                NodeStatus::Enabled => {}
+            }
+        }
     }
 
     /// Applies the superseding rule: the stored status only changes when the
     /// new status has strictly higher precedence.
     pub fn supersede(&mut self, c: Coord, status: NodeStatus) {
-        if let Some(cell) = self.grid.get_mut(c) {
-            *cell = cell.supersede(status);
+        if let Some(current) = self.grid.get(c) {
+            let next = current.supersede(status);
+            if next != *current {
+                self.set(c, next);
+            }
         }
     }
 
@@ -180,12 +202,20 @@ impl StatusMap {
     /// Number of non-faulty nodes the model disables (the paper's headline
     /// metric, Figure 9).
     pub fn disabled_count(&self) -> usize {
-        self.grid.count_where(|&s| s == NodeStatus::Disabled)
+        debug_assert_eq!(
+            self.disabled,
+            self.grid.count_where(|&s| s == NodeStatus::Disabled)
+        );
+        self.disabled
     }
 
     /// Number of faulty nodes.
     pub fn faulty_count(&self) -> usize {
-        self.grid.count_where(|&s| s == NodeStatus::Faulty)
+        debug_assert_eq!(
+            self.faulty,
+            self.grid.count_where(|&s| s == NodeStatus::Faulty)
+        );
+        self.faulty
     }
 
     /// Width of the underlying grid.

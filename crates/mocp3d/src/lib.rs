@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitgrid;
 pub mod fault;
 pub mod grid;
 pub mod mesh;
@@ -54,6 +55,7 @@ pub mod region;
 pub mod registry;
 pub mod topology;
 
+pub use bitgrid::BitGrid3;
 pub use fault::{generate_faults_3d, FaultInjector3, FaultSet3};
 pub use grid::Grid3;
 pub use mesh::Mesh3D;

@@ -63,8 +63,12 @@ fn merge_process(mesh: &Mesh3D, faults: &FaultSet3, name: &'static str, cuboid: 
             .collect();
         // Completions stay inside their component's bounding box, and
         // faults are in-mesh by FaultSet3 construction, so `next` never
-        // leaves the mesh.
-        let next = Region3::from_coords(completed.iter().flat_map(Region3::iter));
+        // leaves the mesh. Accumulate by whole-word union instead of
+        // re-materializing coordinates.
+        let mut next = Region3::new();
+        for completion in &completed {
+            next.union_in_place(completion);
+        }
         if next.len() == excluded.len() {
             break completed;
         }

@@ -1,139 +1,81 @@
-//! Dense 3-D node sets: bitmap floods, 26-connected labelling and the
-//! dirty-line minimum orthogonal convex hull.
+//! Dense 3-D node sets: word-packed bitmap floods, 26-connected labelling
+//! and the bit-parallel minimum orthogonal convex hull.
 //!
 //! This is the performance core of the 3-D subsystem. Where the
 //! specification prototype (`mocp_core::extension3d`) probes a per-node
-//! `BTreeSet` for every membership test, this [`Region3`] keeps a flat
-//! occupancy bitmap over the region's bounding box, so component labelling
-//! is a stack flood over contiguous memory and the hull construction scans
-//! axis lines by stride. The hull additionally tracks *dirty lines*: a line
-//! is rescanned only after a fill along another axis inserted a node on it,
-//! instead of recomputing every axis run over the whole region per fixpoint
-//! iteration.
+//! `BTreeSet` for every membership test, this [`Region3`] keeps a
+//! word-packed occupancy bitmap ([`BitGrid3`]) over the region's bounding
+//! box — 64 nodes per `u64` along the x axis — so component labelling is
+//! a find-first-set seed plus whole-word frontier expansion, and the hull
+//! construction fills per-axis occupied spans with leading/trailing-zero
+//! counts (x) and word-parallel prefix/suffix sweeps (y, z) instead of
+//! cell loops.
 //!
-//! The construction is property-tested equal to the prototype's
-//! `minimum_polyhedra` (the differential oracle) in `tests/`.
+//! The construction is `debug_assert`ed and property-tested equal to the
+//! prototype's `minimum_polyhedra` (the differential oracle) in `tests/`.
 
-use mocp_core::extension3d::Coord3;
+use crate::bitgrid::BitGrid3;
+use mocp_core::extension3d::{self, Coord3};
 
-/// A set of 3-D nodes, stored as an occupancy bitmap over the set's
-/// bounding box.
+/// Size cap under which the hull re-verifies against the scalar prototype
+/// in debug builds (larger instances are pinned by the property tests).
+const ORACLE_NODE_CAP: usize = 512;
+
+/// A set of 3-D nodes, stored as a word-packed occupancy bitmap over the
+/// set's bounding box.
 ///
 /// The dense analogue of `mocp_core::extension3d::Region3`. Equality is
 /// set equality (the bounding box is a representation detail).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Region3 {
-    /// Minimum corner of the bounding box. Meaningless when `dims == [0; 3]`.
-    origin: Coord3,
-    /// Bounding-box extents; `[0, 0, 0]` exactly when the region is empty.
-    dims: [usize; 3],
-    /// Occupancy, x-major within the bounding box.
-    cells: Vec<bool>,
-    /// Number of occupied cells.
-    len: usize,
-}
-
-impl Default for Region3 {
-    fn default() -> Self {
-        Region3::new()
-    }
+    bits: BitGrid3,
 }
 
 impl Region3 {
     /// The empty region.
     pub fn new() -> Self {
         Region3 {
-            origin: Coord3::new(0, 0, 0),
-            dims: [0; 3],
-            cells: Vec::new(),
-            len: 0,
+            bits: BitGrid3::empty(),
         }
     }
 
     /// Builds a region from coordinates (duplicates are ignored). The
     /// bitmap is allocated once over the coordinates' bounding box.
     pub fn from_coords(coords: impl IntoIterator<Item = Coord3>) -> Self {
-        let coords: Vec<Coord3> = coords.into_iter().collect();
-        let Some((lo, hi)) = bounding_box(&coords) else {
-            return Region3::new();
-        };
-        let dims = [
-            (hi.x - lo.x + 1) as usize,
-            (hi.y - lo.y + 1) as usize,
-            (hi.z - lo.z + 1) as usize,
-        ];
-        let mut region = Region3 {
-            origin: lo,
-            dims,
-            cells: vec![false; dims[0] * dims[1] * dims[2]],
-            len: 0,
-        };
-        for c in coords {
-            let i = region
-                .cell_index(c)
-                .expect("coords are inside their own bounding box");
-            if !region.cells[i] {
-                region.cells[i] = true;
-                region.len += 1;
-            }
+        Region3 {
+            bits: BitGrid3::from_coords(coords),
         }
-        region
+    }
+
+    /// Wraps an existing bitmap.
+    pub(crate) fn from_bits(bits: BitGrid3) -> Self {
+        Region3 { bits }
+    }
+
+    /// The region's word-packed bitmap.
+    pub fn bits(&self) -> &BitGrid3 {
+        &self.bits
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.len
+        self.bits.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.bits.is_empty()
     }
 
     /// The minimum and maximum corners of the bounding box, or `None` when
     /// empty.
     pub fn bounding_box(&self) -> Option<(Coord3, Coord3)> {
-        (self.len > 0).then(|| {
-            (
-                self.origin,
-                Coord3::new(
-                    self.origin.x + self.dims[0] as i32 - 1,
-                    self.origin.y + self.dims[1] as i32 - 1,
-                    self.origin.z + self.dims[2] as i32 - 1,
-                ),
-            )
-        })
-    }
-
-    /// The bitmap index of `c`, or `None` when `c` lies outside the
-    /// bounding box.
-    #[inline]
-    fn cell_index(&self, c: Coord3) -> Option<usize> {
-        let x = c.x.checked_sub(self.origin.x)? as i64;
-        let y = c.y.checked_sub(self.origin.y)? as i64;
-        let z = c.z.checked_sub(self.origin.z)? as i64;
-        let [dx, dy, dz] = self.dims.map(|d| d as i64);
-        if (0..dx).contains(&x) && (0..dy).contains(&y) && (0..dz).contains(&z) {
-            Some((x + dx * (y + dy * z)) as usize)
-        } else {
-            None
-        }
-    }
-
-    /// Inverse of [`cell_index`](Self::cell_index).
-    #[inline]
-    fn coord_of(&self, index: usize) -> Coord3 {
-        let [dx, dy, _] = self.dims;
-        Coord3::new(
-            self.origin.x + (index % dx) as i32,
-            self.origin.y + ((index / dx) % dy) as i32,
-            self.origin.z + (index / (dx * dy)) as i32,
-        )
+        self.bits.bounding_box()
     }
 
     /// Membership test.
     pub fn contains(&self, c: Coord3) -> bool {
-        self.cell_index(c).is_some_and(|i| self.cells[i])
+        self.bits.contains(c)
     }
 
     /// Inserts a node, growing the bounding box if needed. Returns `true`
@@ -141,219 +83,71 @@ impl Region3 {
     /// hot loops should build regions via [`from_coords`](Self::from_coords)
     /// (the hull construction only ever fills *inside* the box).
     pub fn insert(&mut self, c: Coord3) -> bool {
-        if self.is_empty() {
-            *self = Region3 {
-                origin: c,
-                dims: [1, 1, 1],
-                cells: vec![true],
-                len: 1,
-            };
-            return true;
-        }
-        if self.cell_index(c).is_none() {
-            let mut coords: Vec<Coord3> = self.iter().collect();
-            coords.push(c);
-            *self = Region3::from_coords(coords);
-            return true;
-        }
-        let i = self.cell_index(c).expect("bounds checked above");
-        if self.cells[i] {
-            false
-        } else {
-            self.cells[i] = true;
-            self.len += 1;
-            true
-        }
+        self.bits.insert(c)
+    }
+
+    /// `self ∪= other` as whole-word ORs — the merge-process accumulator,
+    /// replacing per-node re-insertion.
+    pub fn union_in_place(&mut self, other: &Region3) {
+        self.bits.union_with(&other.bits);
     }
 
     /// Iterates the nodes in x-major bounding-box order.
     pub fn iter(&self) -> impl Iterator<Item = Coord3> + '_ {
-        self.cells
-            .iter()
-            .enumerate()
-            .filter(|&(_, &occupied)| occupied)
-            .map(|(i, _)| self.coord_of(i))
+        self.bits.iter()
     }
 
-    /// Decomposes into 26-connected components (the 3-D merge process),
-    /// via a stack flood over the occupancy bitmap.
+    /// Decomposes into 26-connected components (the 3-D merge process)
+    /// via the word-scan flood: find-first-set seeds plus whole-word
+    /// frontier expansion over the 3×3 neighboring lines.
     pub fn components26(&self) -> Vec<Region3> {
-        let mut visited = vec![false; self.cells.len()];
-        let mut out = Vec::new();
-        let [dx, dy, dz] = self.dims.map(|d| d as i64);
-        for start in 0..self.cells.len() {
-            if !self.cells[start] || visited[start] {
-                continue;
-            }
-            visited[start] = true;
-            let mut component = vec![start];
-            let mut stack = vec![start];
-            while let Some(i) = stack.pop() {
-                let i = i as i64;
-                let (x, y, z) = (i % dx, (i / dx) % dy, i / (dx * dy));
-                for nz in (z - 1).max(0)..=(z + 1).min(dz - 1) {
-                    for ny in (y - 1).max(0)..=(y + 1).min(dy - 1) {
-                        for nx in (x - 1).max(0)..=(x + 1).min(dx - 1) {
-                            let n = (nx + dx * (ny + dy * nz)) as usize;
-                            if self.cells[n] && !visited[n] {
-                                visited[n] = true;
-                                component.push(n);
-                                stack.push(n);
-                            }
-                        }
-                    }
-                }
-            }
-            out.push(Region3::from_coords(
-                component.into_iter().map(|i| self.coord_of(i)),
-            ));
-        }
-        out
+        self.bits
+            .components26()
+            .into_iter()
+            .map(Region3::from_bits)
+            .collect()
     }
 
     /// The 3-D orthogonal convexity test: along every axis-parallel line
-    /// the region's nodes form one contiguous run.
+    /// the region's nodes form one contiguous run — word-parallel span and
+    /// run scans on the packed bitmap.
     pub fn is_orthogonally_convex(&self) -> bool {
-        for axis in 0..3 {
-            let lines = self.line_count(axis);
-            for line in 0..lines {
-                let (base, stride, count) = self.line_geometry(axis, line);
-                let mut first = None;
-                let mut last = 0;
-                for k in 0..count {
-                    if self.cells[base + k * stride] {
-                        first.get_or_insert(k);
-                        last = k;
-                    }
-                }
-                if let Some(first) = first {
-                    for k in first..=last {
-                        if !self.cells[base + k * stride] {
-                            return false;
-                        }
-                    }
-                }
-            }
-        }
-        true
-    }
-
-    /// Number of axis-parallel lines of `axis` crossing the bounding box.
-    #[inline]
-    fn line_count(&self, axis: usize) -> usize {
-        let [dx, dy, dz] = self.dims;
-        match axis {
-            0 => dy * dz,
-            1 => dx * dz,
-            _ => dx * dy,
-        }
-    }
-
-    /// `(base index, stride, cell count)` of line `line` along `axis`.
-    #[inline]
-    fn line_geometry(&self, axis: usize, line: usize) -> (usize, usize, usize) {
-        let [dx, dy, dz] = self.dims;
-        match axis {
-            // Line (y, z): cells x + dx*(y + dy*z), x = 0..dx.
-            0 => (dx * line, 1, dx),
-            // Line (x, z): cells x + dx*(y + dy*z), y = 0..dy.
-            1 => {
-                let (x, z) = (line % dx, line / dx);
-                (x + dx * dy * z, dx, dy)
-            }
-            // Line (x, y): cells x + dx*(y + dy*z), z = 0..dz.
-            _ => (line, dx * dy, dz),
-        }
-    }
-
-    /// The line (of `axis`) passing through cell `index`.
-    #[inline]
-    fn line_of(&self, axis: usize, index: usize) -> usize {
-        let [dx, dy, _] = self.dims;
-        match axis {
-            0 => index / dx,
-            1 => (index % dx) + dx * (index / (dx * dy)),
-            _ => index % (dx * dy),
-        }
+        self.bits.is_orthogonally_convex()
     }
 
     /// The minimum orthogonal convex polyhedron containing the region:
-    /// iterated gap filling along the three axes, rescanning only *dirty*
-    /// lines.
-    ///
-    /// Filling a line makes it contiguous, and only a fill along a
-    /// different axis can re-open it (by inserting a node beyond the old
-    /// run). So every line starts dirty, is cleaned by its scan, and is
-    /// re-marked only when a fill on another axis lands on it. Every filled
-    /// node lies between two region nodes on an axis line — it is forced
-    /// into any orthogonally convex superset — so the fixpoint is the
-    /// unique minimum hull regardless of scan order, and matches the
-    /// specification prototype exactly.
+    /// the bit-parallel hull fixpoint — per-axis occupied spans from
+    /// leading/trailing-zero counts (x) and word-parallel prefix/suffix
+    /// sweeps (y, z), iterated to the fixpoint. Every filled node lies
+    /// between two region nodes on an axis line — forced into any
+    /// orthogonally convex superset — so the fixpoint is the unique
+    /// minimum hull and matches the specification prototype exactly
+    /// (`debug_assert`ed on small inputs, property-tested beyond).
     ///
     /// Fills never leave the bounding box, so the bitmap is allocated once.
     pub fn orthogonal_convex_hull(&self) -> Region3 {
-        let mut hull = self.clone();
-        if hull.len <= 1 {
-            return hull;
-        }
-        let mut dirty: [Vec<bool>; 3] = [0, 1, 2].map(|axis| vec![true; hull.line_count(axis)]);
-        let mut pending = true;
-        while pending {
-            for axis in 0..3 {
-                for line in 0..dirty[axis].len() {
-                    if !dirty[axis][line] {
-                        continue;
-                    }
-                    dirty[axis][line] = false;
-                    let (base, stride, count) = hull.line_geometry(axis, line);
-                    let mut first = None;
-                    let mut last = 0;
-                    for k in 0..count {
-                        if hull.cells[base + k * stride] {
-                            first.get_or_insert(k);
-                            last = k;
-                        }
-                    }
-                    let Some(first) = first else { continue };
-                    for k in first + 1..last {
-                        let i = base + k * stride;
-                        if !hull.cells[i] {
-                            hull.cells[i] = true;
-                            hull.len += 1;
-                            for (other, lines) in dirty.iter_mut().enumerate() {
-                                if other != axis {
-                                    lines[hull.line_of(other, i)] = true;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            // Lines dirtied for an axis already passed this round need one
-            // more round; a full pass with no remaining dirty line ends it.
-            pending = dirty.iter().any(|lines| lines.contains(&true));
-        }
+        let mut hull = self.bits.clone();
+        hull.hull_fixpoint();
+        let hull = Region3 { bits: hull };
+        debug_assert!(
+            self.len() > ORACLE_NODE_CAP || {
+                let oracle =
+                    extension3d::Region3::from_coords(self.iter()).orthogonal_convex_hull();
+                oracle.len() == hull.len() && hull.iter().all(|c| oracle.contains(c))
+            },
+            "bit-parallel 3-D hull diverged from the extension3d prototype"
+        );
         hull
     }
 }
 
 impl PartialEq for Region3 {
     fn eq(&self, other: &Self) -> bool {
-        self.len == other.len && self.iter().all(|c| other.contains(c))
+        self.len() == other.len() && self.iter().all(|c| other.contains(c))
     }
 }
 
 impl Eq for Region3 {}
-
-fn bounding_box(coords: &[Coord3]) -> Option<(Coord3, Coord3)> {
-    let first = *coords.first()?;
-    let (mut lo, mut hi) = (first, first);
-    for &c in &coords[1..] {
-        lo = Coord3::new(lo.x.min(c.x), lo.y.min(c.y), lo.z.min(c.z));
-        hi = Coord3::new(hi.x.max(c.x), hi.y.max(c.y), hi.z.max(c.z));
-    }
-    Some((lo, hi))
-}
 
 /// The 3-D analogue of the paper's construction: merge the faults into
 /// 26-adjacent components and return each component's minimum orthogonal
@@ -401,6 +195,15 @@ mod tests {
         let (lo, hi) = r.bounding_box().unwrap();
         assert_eq!(lo, Coord3::new(-2, 5, 5));
         assert_eq!(hi, Coord3::new(5, 7, 5));
+    }
+
+    #[test]
+    fn union_in_place_merges_sets() {
+        let mut a = region(&[(0, 0, 0), (1, 1, 1)]);
+        let b = region(&[(1, 1, 1), (70, 3, 2)]);
+        a.union_in_place(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(Coord3::new(70, 3, 2)));
     }
 
     #[test]

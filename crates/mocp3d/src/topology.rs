@@ -6,16 +6,18 @@
 //! the single scenario runner drive the 3-D stack through exactly the
 //! same code paths as the 2-D one.
 
+use crate::bitgrid::BitGrid3;
 use crate::fault::FaultSet3;
 use crate::grid::Grid3;
 use crate::mesh::Mesh3D;
 use crate::region::Region3;
 use mesh2d::NodeStatus;
 use mocp_core::extension3d::Coord3;
-use mocp_topology::{FaultStore, MeshTopology, RegionOps, StatusOps};
+use mocp_topology::{BitmapOps, FaultStore, MeshTopology, RegionOps, StatusOps};
 
 impl MeshTopology for Mesh3D {
     type Coord = Coord3;
+    type Bitmap = BitGrid3;
     type Region = Region3;
     type Status = Grid3<NodeStatus>;
     type FaultSet = FaultSet3;
@@ -47,8 +49,61 @@ impl MeshTopology for Mesh3D {
     }
 }
 
+impl BitmapOps for BitGrid3 {
+    type Coord = Coord3;
+
+    fn empty() -> Self {
+        BitGrid3::empty()
+    }
+
+    fn from_coords(coords: &[Coord3]) -> Self {
+        BitGrid3::from_coords(coords.iter().copied())
+    }
+
+    fn len(&self) -> usize {
+        BitGrid3::len(self)
+    }
+
+    fn contains(&self, c: Coord3) -> bool {
+        BitGrid3::contains(self, c)
+    }
+
+    fn insert(&mut self, c: Coord3) -> bool {
+        BitGrid3::insert(self, c)
+    }
+
+    fn union_with(&mut self, other: &Self) {
+        BitGrid3::union_with(self, other)
+    }
+
+    fn subtract(&mut self, other: &Self) {
+        BitGrid3::subtract(self, other)
+    }
+
+    fn intersects(&self, other: &Self) -> bool {
+        BitGrid3::intersects(self, other)
+    }
+
+    fn is_subset_of(&self, other: &Self) -> bool {
+        BitGrid3::is_subset_of(self, other)
+    }
+
+    fn is_orthogonally_convex(&self) -> bool {
+        BitGrid3::is_orthogonally_convex(self)
+    }
+
+    fn dilate_cluster(&self) -> Self {
+        self.dilate26()
+    }
+
+    fn coords(&self) -> Vec<Coord3> {
+        self.iter().collect()
+    }
+}
+
 impl RegionOps for Region3 {
     type Coord = Coord3;
+    type Bitmap = BitGrid3;
 
     fn from_coords(coords: Vec<Coord3>) -> Self {
         Region3::from_coords(coords)
@@ -81,6 +136,10 @@ impl RegionOps for Region3 {
 
     fn is_orthogonally_convex(&self) -> bool {
         Region3::is_orthogonally_convex(self)
+    }
+
+    fn to_bitmap(&self) -> BitGrid3 {
+        self.bits().clone()
     }
 }
 

@@ -16,6 +16,10 @@
 //!   operations those associated types provide (union, components,
 //!   convexity check; disabled/faulty counts; sequential insertion with
 //!   exact removal);
+//! * [`BitmapOps`] — the word-packed bitmap each topology exposes
+//!   (`MeshTopology::Bitmap`): 64 nodes per word, whole-word subset /
+//!   intersection / dilation / convexity kernels that the generic safety
+//!   predicates and the per-dimension flood and hull fixpoints run on;
 //! * [`FaultModel`] — the one model trait every construction implements,
 //!   for any topology (it defaults to `Mesh2D`, so existing 2-D model
 //!   impls read unchanged);
@@ -35,11 +39,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitmap;
 pub mod mesh;
 pub mod model;
 pub mod ops;
 pub mod registry;
 
+pub use bitmap::BitmapOps;
 pub use mesh::MeshTopology;
 pub use model::{FaultModel, Outcome};
 pub use ops::{FaultStore, RegionOps, StatusOps};

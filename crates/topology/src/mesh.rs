@@ -1,7 +1,8 @@
 //! The [`MeshTopology`] trait: what every mesh dimension provides.
 
+use crate::bitmap::BitmapOps;
 use crate::ops::{FaultStore, RegionOps, StatusOps};
-use mesh2d::{Coord, FaultSet, Mesh2D, Region, StatusMap};
+use mesh2d::{BitGrid, Coord, FaultSet, Mesh2D, Region, StatusMap};
 use std::fmt::Debug;
 
 /// A mesh topology the fault-model stack can run on.
@@ -42,8 +43,14 @@ pub trait MeshTopology: Copy + PartialEq + Debug + Send + Sync + 'static {
     /// Node address type (`Coord` in 2-D, `Coord3` in 3-D).
     type Coord: Copy + Ord + Debug + Send + Sync + 'static;
 
+    /// Word-packed bitmap type (64 nodes per `u64`) carrying the
+    /// dimension's bit-parallel kernels; shared with
+    /// [`Region::to_bitmap`](RegionOps::to_bitmap) so regions and meshes
+    /// speak the same fast-path type.
+    type Bitmap: BitmapOps<Coord = Self::Coord>;
+
     /// Node-set type with the shared geometric ops.
-    type Region: RegionOps<Coord = Self::Coord>;
+    type Region: RegionOps<Coord = Self::Coord, Bitmap = Self::Bitmap>;
 
     /// Per-node construction-status storage.
     type Status: StatusOps<Coord = Self::Coord>;
@@ -81,6 +88,7 @@ pub trait MeshTopology: Copy + PartialEq + Debug + Send + Sync + 'static {
 
 impl MeshTopology for Mesh2D {
     type Coord = Coord;
+    type Bitmap = BitGrid;
     type Region = Region;
     type Status = StatusMap;
     type FaultSet = FaultSet;

@@ -1,10 +1,17 @@
 //! The dimension-generic fault-model trait and construction outcome.
 
+use crate::bitmap::BitmapOps;
 use crate::mesh::MeshTopology;
 use crate::ops::{RegionOps, StatusOps};
 use distsim::RoundStats;
-use mesh2d::{Connectivity, Mesh2D, Region, StatusMap};
+use mesh2d::{BitGrid, Connectivity, Mesh2D, Region, StatusMap};
 use serde::{Deserialize, Serialize};
+
+/// Size cap under which the bit-parallel predicates re-verify against
+/// their scalar specifications in debug builds. Larger instances are
+/// covered by the dedicated property tests instead, so debug test runs do
+/// not pay the scalar cost on full-size sweeps.
+const ORACLE_NODE_CAP: usize = 1024;
 
 /// The outcome of running a fault-model construction on a faulty mesh,
 /// for any [`MeshTopology`].
@@ -53,29 +60,76 @@ impl<T: MeshTopology> Outcome<T> {
 
     /// Checks the fundamental safety property shared by every model in
     /// every dimension: every faulty node is covered by some region.
+    ///
+    /// Runs as a whole-word bitmap subtraction: the faults not yet covered
+    /// shrink region by region, and the final emptiness test is one word
+    /// scan. The scalar any-region-contains loop remains the debug oracle.
     pub fn covers_all_faults(&self) -> bool {
-        self.status
-            .faulty_coords()
-            .into_iter()
-            .all(|c| self.regions.iter().any(|r| r.contains(c)))
+        let faults = self.status.faulty_coords();
+        let mut uncovered = T::Bitmap::from_coords(&faults);
+        for r in &self.regions {
+            if uncovered.is_empty() {
+                break;
+            }
+            uncovered.subtract(&r.to_bitmap());
+        }
+        let covered = uncovered.is_empty();
+        debug_assert!(
+            faults.len() > ORACLE_NODE_CAP
+                || covered
+                    == faults
+                        .iter()
+                        .all(|&c| self.regions.iter().any(|r| r.contains(c))),
+            "bitmap covers_all_faults diverged from the scalar oracle"
+        );
+        covered
     }
 
     /// True when every produced region is orthogonally convex
-    /// (Definition 1, generalized per dimension).
+    /// (Definition 1, generalized per dimension) — the word-parallel
+    /// span/run scan of the region's bitmap, with the scalar
+    /// [`RegionOps::is_orthogonally_convex`] as the debug oracle.
     pub fn all_regions_convex(&self) -> bool {
-        self.regions.iter().all(RegionOps::is_orthogonally_convex)
+        self.regions.iter().all(|r| {
+            let convex = r.to_bitmap().is_orthogonally_convex();
+            debug_assert!(
+                r.len() > ORACLE_NODE_CAP || convex == r.is_orthogonally_convex(),
+                "bitmap convexity diverged from the scalar oracle"
+            );
+            convex
+        })
     }
 
-    /// True when the produced regions are pairwise disjoint.
+    /// True when the produced regions are pairwise disjoint — one running
+    /// union bitmap and a whole-word intersection test per region instead
+    /// of the scalar all-pairs scan (which remains the debug oracle).
     pub fn regions_disjoint(&self) -> bool {
-        for (i, a) in self.regions.iter().enumerate() {
-            for b in &self.regions[i + 1..] {
-                if !a.is_disjoint(b) {
-                    return false;
-                }
+        let mut seen = T::Bitmap::empty();
+        let mut disjoint = true;
+        for r in &self.regions {
+            let bits = r.to_bitmap();
+            if bits.intersects(&seen) {
+                disjoint = false;
+                break;
             }
+            seen.union_with(&bits);
         }
-        true
+        debug_assert!(
+            self.regions.iter().map(RegionOps::len).sum::<usize>() > ORACLE_NODE_CAP || {
+                let mut oracle = true;
+                'outer: for (i, a) in self.regions.iter().enumerate() {
+                    for b in &self.regions[i + 1..] {
+                        if !a.is_disjoint(b) {
+                            oracle = false;
+                            break 'outer;
+                        }
+                    }
+                }
+                oracle == disjoint
+            },
+            "bitmap regions_disjoint diverged from the scalar oracle"
+        );
+        disjoint
     }
 }
 
@@ -83,8 +137,22 @@ impl Outcome<Mesh2D> {
     /// Splits the excluded node set into its 4-connected regions. Used by
     /// 2-D models whose construction produces a status map first and
     /// regions second.
+    ///
+    /// Labelling runs as a word-scan flood on the packed excluded bitmap;
+    /// the scalar [`Region::components`] decomposition is the debug oracle.
     pub fn regions_from_status(status: &StatusMap) -> Vec<Region> {
-        status.excluded_region().components(Connectivity::Four)
+        let excluded = BitGrid::from_coords(status.grid().coords_where(|s| s.is_excluded()));
+        let regions: Vec<Region> = excluded
+            .components(Connectivity::Four)
+            .iter()
+            .map(BitGrid::to_region)
+            .collect();
+        debug_assert!(
+            excluded.len() > ORACLE_NODE_CAP
+                || regions == status.excluded_region().components(Connectivity::Four),
+            "word-flood regions_from_status diverged from the scalar oracle"
+        );
+        regions
     }
 }
 

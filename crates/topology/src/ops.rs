@@ -7,8 +7,9 @@
 //! implementations live here (this crate owns the traits and depends on
 //! `mesh2d`); the 3-D implementations live in `mocp_3d`.
 
+use crate::bitmap::BitmapOps;
 use crate::mesh::MeshTopology;
-use mesh2d::{Connectivity, Coord, FaultSet, Mesh2D, Region, StatusMap};
+use mesh2d::{BitGrid, Connectivity, Coord, FaultSet, Mesh2D, Region, StatusMap};
 use std::fmt::Debug;
 
 /// Node-set geometry shared by every dimension: size, membership, union,
@@ -17,6 +18,10 @@ use std::fmt::Debug;
 pub trait RegionOps: Clone + PartialEq + Debug + Send + Sync + 'static {
     /// The node address type of the region's topology.
     type Coord: Copy;
+
+    /// The word-packed bitmap type of the region's topology (the same
+    /// type the topology names as `MeshTopology::Bitmap`).
+    type Bitmap: BitmapOps<Coord = Self::Coord>;
 
     /// Builds a region from coordinates (duplicates are ignored).
     fn from_coords(coords: Vec<Self::Coord>) -> Self;
@@ -53,10 +58,15 @@ pub trait RegionOps: Clone + PartialEq + Debug + Send + Sync + 'static {
     /// The orthogonal-convexity test (Definition 1, per dimension): along
     /// every axis-parallel line the region's nodes form one contiguous run.
     fn is_orthogonally_convex(&self) -> bool;
+
+    /// The region as a word-packed bitmap (framed by its bounding box) —
+    /// the entry ticket to the whole-word predicates of [`BitmapOps`].
+    fn to_bitmap(&self) -> Self::Bitmap;
 }
 
 impl RegionOps for Region {
     type Coord = Coord;
+    type Bitmap = BitGrid;
 
     fn from_coords(coords: Vec<Coord>) -> Self {
         Region::from_coords(coords)
@@ -88,6 +98,10 @@ impl RegionOps for Region {
 
     fn is_orthogonally_convex(&self) -> bool {
         Region::is_orthogonally_convex(self)
+    }
+
+    fn to_bitmap(&self) -> BitGrid {
+        BitGrid::from_region(self)
     }
 }
 

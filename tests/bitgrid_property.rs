@@ -1,0 +1,253 @@
+//! Property tests pinning every word-packed (bit-parallel) kernel to its
+//! scalar specification.
+//!
+//! The `BitGrid` / `BitGrid3` kernels are the production fast path for
+//! component labelling, the hull fixpoint, neighborhood dilation, the
+//! labelling schemes and the `Outcome` safety predicates. Each one must
+//! be *extensionally equal* to the scalar implementation it replaced —
+//! `Region` / `Region3`-style set code and the `run_local_rule` engine —
+//! on arbitrary inputs, including meshes whose width straddles the
+//! 63/64/65 word boundary.
+
+use distsim::RoundStats;
+use fblock::{
+    label_activation, label_activation_scalar, label_safety, label_safety_scalar, ModelOutcome,
+};
+use mesh2d::{
+    BitGrid, BitScratch, Connectivity, Coord, FaultSet, Mesh2D, NodeStatus, Region, StatusMap,
+};
+use mocp::mocp_3d::BitGrid3;
+use mocp::mocp_core::extension3d;
+use mocp_topology::BitmapOps;
+use proptest::prelude::*;
+
+/// Coordinates over a width that straddles the word boundary (0..65 on x)
+/// and a 64-row extent.
+fn wide_coords() -> impl Strategy<Value = Vec<(i32, i32)>> {
+    prop::collection::vec((0..65i32, 0..64i32), 0..60)
+}
+
+/// Dense coordinates on a small window, to exercise multi-cell components.
+fn dense_coords() -> impl Strategy<Value = Vec<(i32, i32)>> {
+    prop::collection::vec((0..12i32, 0..12i32), 0..50)
+}
+
+fn region_of(coords: &[(i32, i32)]) -> Region {
+    Region::from_coords(coords.iter().map(|&(x, y)| Coord::new(x, y)))
+}
+
+/// 3-D coordinates within a 16³ box.
+fn coords3() -> impl Strategy<Value = Vec<(i32, i32, i32)>> {
+    prop::collection::vec((0..16i32, 0..16i32, 0..16i32), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Word-flood component labelling equals the scalar decomposition —
+    /// same components, same deterministic order — under both adjacencies.
+    #[test]
+    fn components_match_scalar_oracle(coords in wide_coords()) {
+        let region = region_of(&coords);
+        let bits = BitGrid::from_region(&region);
+        for adjacency in [Connectivity::Four, Connectivity::Eight] {
+            let fast: Vec<Region> =
+                bits.components(adjacency).iter().map(BitGrid::to_region).collect();
+            prop_assert_eq!(fast, region.components(adjacency));
+        }
+    }
+
+    /// The bit-parallel hull fixpoint equals the scalar iterated gap fill.
+    #[test]
+    fn hull_matches_scalar_oracle(coords in dense_coords()) {
+        let region = region_of(&coords);
+        // Hull semantics are per 8-connected component (the construction
+        // always hulls one component at a time).
+        for component in region.components(Connectivity::Eight) {
+            let mut bits = BitGrid::from_region(&component);
+            let before = bits.len();
+            let (iters, added) = bits.hull_fixpoint(&mut BitScratch::new());
+            prop_assert_eq!(bits.to_region(), component.orthogonal_convex_hull());
+            prop_assert_eq!(added as usize, bits.len() - before);
+            prop_assert!(iters == 0 || added > 0);
+        }
+    }
+
+    /// Word-boundary widths 63/64/65: set/contains/len survive packing.
+    #[test]
+    fn word_boundary_round_trip(xs in prop::collection::vec(0..195i32, 0..80)) {
+        for width in [63i32, 64, 65] {
+            let coords: Vec<Coord> =
+                xs.iter().map(|&v| Coord::new(v % width, v / width)).collect();
+            let region = Region::from_coords(coords.iter().copied());
+            let bits = BitGrid::from_coords(coords.iter().copied());
+            prop_assert_eq!(bits.len(), region.len());
+            for &c in &coords {
+                prop_assert!(bits.contains(c));
+            }
+            prop_assert_eq!(bits.to_region(), region);
+        }
+    }
+
+    /// The dilation mask equals the scalar 8-neighborhood union — the
+    /// boost set of the clustered fault distribution.
+    #[test]
+    fn dilation_matches_scalar_neighborhoods(coords in wide_coords()) {
+        let region = region_of(&coords);
+        let expected = Region::from_coords(
+            region.iter().flat_map(|c| c.neighbors8().into_iter().chain([c])),
+        );
+        prop_assert_eq!(BitGrid::from_region(&region).dilate8().to_region(), expected);
+    }
+
+    /// Word-parallel convexity equals Definition 1's scalar row/column scan.
+    #[test]
+    fn convexity_matches_scalar_oracle(coords in dense_coords()) {
+        let region = region_of(&coords);
+        prop_assert_eq!(
+            BitGrid::from_region(&region).is_orthogonally_convex(),
+            region.is_orthogonally_convex()
+        );
+        let hulled: Region = region
+            .components(Connectivity::Eight)
+            .iter()
+            .fold(Region::new(), |acc, c| acc.union(&c.orthogonal_convex_hull()));
+        prop_assert!(hulled
+            .components(Connectivity::Eight)
+            .iter()
+            .map(|c| BitGrid::from_region(c).is_orthogonally_convex())
+            .zip(hulled.components(Connectivity::Eight).iter().map(Region::is_orthogonally_convex))
+            .all(|(a, b)| a == b));
+    }
+
+    /// Whole-word set algebra equals scalar set semantics.
+    #[test]
+    fn set_algebra_matches_scalar_sets(a in wide_coords(), b in wide_coords()) {
+        let (ra, rb) = (region_of(&a), region_of(&b));
+        let (ga, gb) = (BitGrid::from_region(&ra), BitGrid::from_region(&rb));
+        prop_assert_eq!(ga.intersects(&gb), !ra.is_disjoint(&rb));
+        prop_assert_eq!(ga.is_subset_of(&gb), ra.is_subset(&rb));
+        let mut union = ga.clone();
+        union.union_with(&gb);
+        prop_assert_eq!(union.to_region(), ra.union(&rb));
+        let mut diff = ga.clone();
+        diff.subtract(&gb);
+        prop_assert_eq!(diff.to_region(), ra.difference(&rb));
+    }
+
+    /// The bitmap-backed safety predicates equal their scalar definitions
+    /// on arbitrary (even malformed) outcomes.
+    #[test]
+    fn safety_predicates_match_scalar_definitions(
+        faults in dense_coords(),
+        r1 in dense_coords(),
+        r2 in dense_coords(),
+    ) {
+        let mesh = Mesh2D::square(12);
+        let mut status = StatusMap::all_enabled(&mesh);
+        for &(x, y) in &faults {
+            status.set(Coord::new(x, y), NodeStatus::Faulty);
+        }
+        let regions = vec![region_of(&r1), region_of(&r2)];
+        let outcome = ModelOutcome {
+            model: "prop".to_string(),
+            status,
+            regions: regions.clone(),
+            rounds: RoundStats::quiescent(),
+        };
+        // Scalar definitions, spelled out.
+        let faulty: Vec<Coord> = faults.iter().map(|&(x, y)| Coord::new(x, y)).collect();
+        let covers = faulty.iter().all(|&c| regions.iter().any(|r| r.contains(c)));
+        let convex = regions.iter().all(Region::is_orthogonally_convex);
+        let disjoint = regions[0].is_disjoint(&regions[1]);
+        prop_assert_eq!(outcome.covers_all_faults(), covers);
+        prop_assert_eq!(outcome.all_regions_convex(), convex);
+        prop_assert_eq!(outcome.regions_disjoint(), disjoint);
+    }
+
+    /// Bit-parallel labelling schemes 1+2 equal the synchronous local-rule
+    /// engine — labels *and* round statistics — on meshes straddling the
+    /// word boundary.
+    #[test]
+    fn labelling_schemes_match_local_rule_engine(
+        coords in prop::collection::vec((0..65i32, 0..20i32), 0..40),
+    ) {
+        let mesh = Mesh2D::mesh(65, 20);
+        let faults = FaultSet::from_coords(mesh, coords.iter().map(|&(x, y)| Coord::new(x, y)));
+        let (safety, rounds1) = label_safety(&mesh, &faults);
+        let (oracle_safety, oracle_rounds1) = label_safety_scalar(&mesh, &faults);
+        prop_assert_eq!(&safety, &oracle_safety);
+        prop_assert_eq!(rounds1, oracle_rounds1);
+        let (activation, rounds2) = label_activation(&mesh, &faults, &safety);
+        let (oracle_activation, oracle_rounds2) =
+            label_activation_scalar(&mesh, &faults, &safety);
+        prop_assert_eq!(activation, oracle_activation);
+        prop_assert_eq!(rounds2, oracle_rounds2);
+    }
+
+    /// 3-D: word-flood 26-labelling, the bit-parallel hull and the
+    /// dilation equal the `extension3d` prototype on boxes up to 16³.
+    #[test]
+    fn bitgrid3_kernels_match_prototype(coords in coords3()) {
+        let cs: Vec<extension3d::Coord3> = coords
+            .iter()
+            .map(|&(x, y, z)| extension3d::Coord3::new(x, y, z))
+            .collect();
+        let dense = mocp::mocp_3d::Region3::from_coords(cs.iter().copied());
+        let proto = extension3d::Region3::from_coords(cs.iter().copied());
+
+        // Components: the same partition (the two implementations emit
+        // components in different discovery orders, so compare as sets of
+        // canonically sorted cell lists).
+        let canonical = |cells: Vec<extension3d::Coord3>| {
+            let mut cells: Vec<(i32, i32, i32)> =
+                cells.into_iter().map(|c| (c.x, c.y, c.z)).collect();
+            cells.sort_unstable();
+            cells
+        };
+        let dense_comps = dense.components26();
+        let mut dense_sets: Vec<Vec<(i32, i32, i32)>> = dense_comps
+            .iter()
+            .map(|comp| canonical(comp.iter().collect()))
+            .collect();
+        let mut proto_sets: Vec<Vec<(i32, i32, i32)>> = proto
+            .components26()
+            .iter()
+            .map(|comp| canonical(comp.iter().collect()))
+            .collect();
+        dense_sets.sort();
+        proto_sets.sort();
+        prop_assert_eq!(dense_sets, proto_sets);
+
+        // Hulls per component.
+        for comp in &dense_comps {
+            let hull = comp.orthogonal_convex_hull();
+            let proto_hull = extension3d::Region3::from_coords(comp.iter())
+                .orthogonal_convex_hull();
+            prop_assert_eq!(hull.len(), proto_hull.len());
+            prop_assert!(hull.iter().all(|c| proto_hull.contains(c)));
+            prop_assert_eq!(
+                hull.is_orthogonally_convex(),
+                proto_hull.is_orthogonally_convex()
+            );
+        }
+
+        // Dilation: the 26-neighborhood union.
+        let bits = BitGrid3::from_coords(cs.iter().copied());
+        let dilated = bits.dilate26();
+        let mut expected: std::collections::BTreeSet<(i32, i32, i32)> =
+            std::collections::BTreeSet::new();
+        for &c in &cs {
+            for dz in -1..=1 {
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        expected.insert((c.x + dx, c.y + dy, c.z + dz));
+                    }
+                }
+            }
+        }
+        let got: std::collections::BTreeSet<(i32, i32, i32)> =
+            BitmapOps::coords(&dilated).iter().map(|c| (c.x, c.y, c.z)).collect();
+        prop_assert_eq!(got, expected);
+    }
+}

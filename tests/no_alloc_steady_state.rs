@@ -1,0 +1,84 @@
+//! Steady-state allocation tests for the scratch-buffered kernels.
+//!
+//! The hull fixpoint and the incremental engine's localized re-flood run
+//! on reusable scratch buffers ([`mocp_core::ConstructionScratch`] /
+//! `mesh2d::BitScratch`). Once those buffers have grown to the working-set
+//! size, further constructions and events must not grow them again — the
+//! `grows()` counters expose exactly that, and these tests pin it.
+
+use mocp::faultgen::{generate_faults, FaultDistribution, FaultInjector};
+use mocp::mesh2d::Region;
+use mocp::mesh2d::{Coord, FaultEvent, Mesh2D};
+use mocp::mocp_core::{
+    construct_component_with, merge_components, CentralizedSolution, ConstructionScratch,
+    FaultyComponent,
+};
+use mocp::mocp_incremental::IncrementalEngine;
+
+/// Repeated batch constructions must stop growing the threaded scratch
+/// once its buffers reach the working-set size (here: primed by one
+/// mesh-spanning component, the largest frame any construction can need).
+#[test]
+fn batch_construction_scratch_reaches_steady_state() {
+    let mesh = Mesh2D::square(48);
+    let mut scratch = ConstructionScratch::new();
+    // Warm-up: a diagonal chain spanning the whole mesh sizes every
+    // buffer to the mesh-wide maximum.
+    let diagonal = FaultyComponent::new(Region::from_coords((0..48).map(|i| Coord::new(i, i))));
+    construct_component_with(
+        &mesh,
+        &diagonal,
+        CentralizedSolution::ConcaveSections,
+        &mut scratch,
+    );
+    let steady = scratch.grows();
+    for round in 0..6 {
+        let faults = generate_faults(mesh, 160, FaultDistribution::Clustered, round);
+        for component in &merge_components(&faults) {
+            construct_component_with(
+                &mesh,
+                component,
+                CentralizedSolution::ConcaveSections,
+                &mut scratch,
+            );
+        }
+        assert_eq!(
+            scratch.grows(),
+            steady,
+            "round {round}: the hull fixpoint allocated in steady state"
+        );
+    }
+}
+
+/// An engine cycling through inject/repair bursts of bounded extent must
+/// stop growing its construction/flood buffers after the warm-up cycle.
+#[test]
+fn engine_scratch_reaches_steady_state() {
+    let mesh = Mesh2D::square(64);
+    let mut engine = IncrementalEngine::new(mesh);
+    // Warm-up: a mesh-spanning diagonal component sizes the flood/hull
+    // buffers to their mesh-wide maximum, then is fully repaired.
+    for i in 0..64 {
+        engine.apply(FaultEvent::Inject(Coord::new(i, i)));
+    }
+    for i in (0..64).rev() {
+        engine.apply(FaultEvent::Repair(Coord::new(i, i)));
+    }
+    let steady = engine.scratch_grows();
+    for cycle in 0..5 {
+        // A clustered burst, then repaired in reverse order.
+        let mut injector = FaultInjector::new(mesh, FaultDistribution::Clustered, cycle);
+        let injected: Vec<_> = injector.event_stream(120).collect();
+        for &event in &injected {
+            engine.apply(event);
+        }
+        for event in injected.iter().rev() {
+            engine.apply(event.inverse());
+        }
+        assert_eq!(
+            engine.scratch_grows(),
+            steady,
+            "cycle {cycle}: the engine allocated scratch in steady state"
+        );
+    }
+}
