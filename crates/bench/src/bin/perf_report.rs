@@ -4,8 +4,9 @@
 //! ```text
 //! cargo run --release -p mocp-bench --bin perf_report            # full run
 //! cargo run --release -p mocp-bench --bin perf_report -- --quick # CI smoke
+//! cargo run --release -p mocp-bench --bin perf_report -- --quick --threads 2
 //! cargo run --release -p mocp-bench --bin perf_report -- \
-//!     --baseline old.json --out BENCH_5.json                     # with speedups
+//!     --baseline old.json --out BENCH_6.json                     # with speedups
 //! ```
 //!
 //! Four workloads are timed, matching the repository's own definitions:
@@ -19,6 +20,14 @@
 //!   distributions, one trial) through `run_scenario`;
 //! * `paper_figures_3d` — the 3-D Figure 9/10 analogue sweep (32³ mesh,
 //!   both distributions).
+//!
+//! In full mode every workload is measured at 1, 2, 4 and 8 pool
+//! threads (the per-count timings land in each workload's `scaling`
+//! map, the headline `min`/`mean`/`samples` are the 1-thread numbers so
+//! reports stay comparable across machines); `--threads N` pins a single
+//! count instead, and quick mode measures one count only. The report
+//! records `host_parallelism` so scaling numbers can be judged against
+//! the cores that were actually available.
 //!
 //! With `--baseline <file>` (a previous report), every workload also gets
 //! `baseline_ms` and `speedup` fields so regressions/improvements are
@@ -35,51 +44,76 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// One timed workload: name plus the measured samples in milliseconds.
+/// One timed workload: name plus the measured samples in milliseconds,
+/// one sample list per measured pool size (in `thread_counts` order; the
+/// first entry is the headline measurement).
 struct Measurement {
     name: &'static str,
     /// What the workload consists of, for human readers of the JSON.
     detail: String,
-    samples_ms: Vec<f64>,
+    per_thread: Vec<(usize, Vec<f64>)>,
+}
+
+fn min_of(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn mean_of(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
 }
 
 impl Measurement {
+    /// The headline samples: the first measured thread count (1 in a
+    /// full run), keeping reports comparable across hosts and with
+    /// pre-scaling baselines.
+    fn primary(&self) -> &[f64] {
+        &self.per_thread[0].1
+    }
+
     fn min_ms(&self) -> f64 {
-        self.samples_ms
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        min_of(self.primary())
     }
 
     fn mean_ms(&self) -> f64 {
-        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+        mean_of(self.primary())
     }
 }
 
 /// Times `work` `repeats` times (after one untimed warm-up when
-/// `repeats > 1`), black-boxing the result so the work cannot be elided.
+/// `repeats > 1`), black-boxing the result so the work cannot be elided —
+/// once per pool in `pools`, with the workload's parallel operations
+/// dispatched to that pool.
 fn time_workload<R>(
     name: &'static str,
     detail: String,
     repeats: usize,
-    mut work: impl FnMut() -> R,
+    pools: &[(usize, rayon::ThreadPool)],
+    mut work: impl FnMut() -> R + Send,
 ) -> Measurement {
-    if repeats > 1 {
-        black_box(work());
+    let mut per_thread = Vec::with_capacity(pools.len());
+    for (threads, pool) in pools {
+        let samples_ms = pool.install(|| {
+            if repeats > 1 {
+                black_box(work());
+            }
+            let mut samples_ms = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                let start = Instant::now();
+                black_box(work());
+                samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            }
+            samples_ms
+        });
+        eprintln!(
+            "  {name} @ {threads} thread(s): min {:.3} ms over {repeats} run(s)",
+            min_of(&samples_ms)
+        );
+        per_thread.push((*threads, samples_ms));
     }
-    let mut samples_ms = Vec::with_capacity(repeats);
-    for _ in 0..repeats {
-        let start = Instant::now();
-        black_box(work());
-        samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
-    }
-    eprintln!("  {name}: min {:.3} ms over {repeats} run(s)", {
-        samples_ms.iter().copied().fold(f64::INFINITY, f64::min)
-    });
     Measurement {
         name,
         detail,
-        samples_ms,
+        per_thread,
     }
 }
 
@@ -138,19 +172,36 @@ fn baseline_min_ms(report: &str, name: &str) -> Option<f64> {
 }
 
 fn render_report(mode: &str, measurements: &[Measurement], baseline: Option<&str>) -> String {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mocp-perf-report/1\",\n");
+    out.push_str("  \"schema\": \"mocp-perf-report/2\",\n");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"units\": \"milliseconds\",\n");
+    let _ = writeln!(out, "  \"host_parallelism\": {host_parallelism},");
     out.push_str("  \"workloads\": {\n");
     for (i, m) in measurements.iter().enumerate() {
         let _ = writeln!(out, "    \"{}\": {{", m.name);
         let _ = writeln!(out, "      \"detail\": \"{}\",", m.detail);
+        // `min` stays the first field after `detail`: the baseline parser
+        // reads the first `\"min\":` after the workload name, which must
+        // be the headline number, not a scaling entry.
         let _ = writeln!(out, "      \"min\": {:.3},", m.min_ms());
         let _ = writeln!(out, "      \"mean\": {:.3},", m.mean_ms());
-        let samples: Vec<String> = m.samples_ms.iter().map(|s| format!("{s:.3}")).collect();
+        let samples: Vec<String> = m.primary().iter().map(|s| format!("{s:.3}")).collect();
         let _ = write!(out, "      \"samples\": [{}]", samples.join(", "));
+        let _ = write!(out, ",\n      \"scaling\": {{");
+        for (j, (threads, samples)) in m.per_thread.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\": {{\"min\": {:.3}, \"mean\": {:.3}}}",
+                if j == 0 { "" } else { ", " },
+                threads,
+                min_of(samples),
+                mean_of(samples)
+            );
+        }
+        let _ = write!(out, "}}");
         if let Some(base_ms) = baseline.and_then(|b| baseline_min_ms(b, m.name)) {
             let _ = write!(
                 out,
@@ -182,15 +233,39 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_6.json".to_string());
     let baseline = flag_value("--baseline").map(|path| {
         std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
     });
+    let pinned_threads: Option<usize> = flag_value("--threads").map(|v| {
+        let n = v.parse().expect("--threads takes a positive integer");
+        assert!(n > 0, "--threads takes a positive integer");
+        n
+    });
 
     let mode = if quick { "quick" } else { "full" };
     let repeats = if quick { 1 } else { 3 };
-    eprintln!("perf_report ({mode} mode, {repeats} timed run(s) per workload)");
+    // Full runs sweep the pool size to produce the scaling table;
+    // `--threads` pins one count, and quick mode keeps the smoke cheap.
+    let thread_counts: Vec<usize> = match pinned_threads {
+        Some(n) => vec![n],
+        None if quick => vec![1],
+        None => vec![1, 2, 4, 8],
+    };
+    let pools: Vec<(usize, rayon::ThreadPool)> = thread_counts
+        .iter()
+        .map(|&n| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool construction cannot fail");
+            (n, pool)
+        })
+        .collect();
+    eprintln!(
+        "perf_report ({mode} mode, {repeats} timed run(s) per workload, pool sizes {thread_counts:?})"
+    );
 
     let mut measurements = Vec::new();
 
@@ -212,6 +287,7 @@ fn main() {
             },
             format!("CMFP batch reconstruction at checkpoints {checkpoints:?} on a {side}x{side} mesh (clustered, seed 2004)"),
             repeats.max(3),
+            &pools,
             || batch_sweep(&mesh, &seq, &checkpoints),
         ));
     }
@@ -235,6 +311,7 @@ fn main() {
                 "IncrementalEngine absorbing {faults} clustered injections on a {side}x{side} mesh"
             ),
             repeats,
+            &pools,
             || incremental_stream(&mesh, &seq),
         ));
     }
@@ -263,6 +340,7 @@ fn main() {
                 config.mesh_size, config.mesh_size, config.fault_counts
             ),
             repeats,
+            &pools,
             || {
                 FaultDistribution::ALL.map(|dist| {
                     run_scenario(&registry, &Scenario::paper_figures(&config, dist))
@@ -293,6 +371,7 @@ fn main() {
             },
             detail.to_string(),
             repeats,
+            &pools,
             || {
                 FaultDistribution::ALL.map(|dist| {
                     run_scenario(&registry, &scenario_for(dist)).expect("3-D models resolve")

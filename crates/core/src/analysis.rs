@@ -12,6 +12,12 @@ use serde::{Deserialize, Serialize};
 /// staged merge/solve/pile pipeline in debug builds.
 const ORACLE_NODE_CAP: usize = 1024;
 
+/// Fault count from which the concave-section CMFP construction prefers
+/// the staged pipeline (whose per-component solves fan out over the
+/// thread pool) over the fused single-pass construction. Below this the
+/// fused path's zero-materialization wins even against several cores.
+const PARALLEL_FAULT_THRESHOLD: usize = 128;
+
 /// Which centralized formulation computes the per-component polygons.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub enum CentralizedSolution {
@@ -61,18 +67,47 @@ impl CentralizedMfpModel {
         mesh: &Mesh2D,
         components: &[FaultyComponent],
     ) -> (Vec<Region>, RoundStats) {
-        // One scratch serves every component: the hull fixpoint re-frames
-        // the same buffers instead of allocating per component.
-        let mut scratch = crate::construction::ConstructionScratch::new();
+        use rayon::prelude::*;
+        // With a pool, independent components fan out across the workers,
+        // each chunk with its own scratch (no shared mutable scratch
+        // across tasks); sequentially one scratch serves every component:
+        // the hull fixpoint re-frames the same buffers instead of
+        // allocating per component. The ordered collect keeps component
+        // order, and the round composition (max rounds, summed events) is
+        // fold-order-independent, so both paths report identical stats.
+        let solutions: Vec<crate::construction::ComponentPolygon> =
+            if components.len() > 1 && rayon::current_num_threads() > 1 {
+                components
+                    .par_iter()
+                    .map_init(
+                        crate::construction::ConstructionScratch::new,
+                        |scratch, c| {
+                            crate::construction::construct_component_with(
+                                mesh,
+                                c,
+                                self.solution,
+                                scratch,
+                            )
+                        },
+                    )
+                    .collect()
+            } else {
+                let mut scratch = crate::construction::ConstructionScratch::new();
+                components
+                    .iter()
+                    .map(|c| {
+                        crate::construction::construct_component_with(
+                            mesh,
+                            c,
+                            self.solution,
+                            &mut scratch,
+                        )
+                    })
+                    .collect()
+            };
         let mut polygons = Vec::with_capacity(components.len());
         let mut rounds = RoundStats::quiescent();
-        for component in components {
-            let sol = crate::construction::construct_component_with(
-                mesh,
-                component,
-                self.solution,
-                &mut scratch,
-            );
+        for sol in solutions {
             rounds = rounds.in_parallel_with(sol.rounds);
             polygons.push(sol.polygon);
         }
@@ -92,6 +127,33 @@ impl FaultModel for CentralizedMfpModel {
             // per-component hull fixpoint, materializing only the output
             // polygons — no intermediate component regions at all.
             CentralizedSolution::ConcaveSections => {
+                // With an active pool and enough faults, the staged
+                // pipeline wins: its per-component solves run on the
+                // workers, while the fused pass is inherently serial.
+                // Both produce identical outcomes (the debug oracles
+                // below and in the fused branch pin the equivalence from
+                // both directions).
+                if rayon::current_num_threads() > 1 && faults.len() >= PARALLEL_FAULT_THRESHOLD {
+                    let components = merge_components(faults);
+                    let (polygons, rounds) = self.solve_components(mesh, &components);
+                    let status = pile_polygons(mesh, faults, &polygons);
+                    let outcome = ModelOutcome {
+                        model: "CMFP".to_string(),
+                        status,
+                        regions: polygons,
+                        rounds,
+                    };
+                    debug_assert!(
+                        faults.len() > ORACLE_NODE_CAP || {
+                            let fused = construct_concave_fused(mesh, faults);
+                            fused.regions == outcome.regions
+                                && fused.rounds == outcome.rounds
+                                && fused.status == outcome.status
+                        },
+                        "staged parallel construction diverged from the fused pass"
+                    );
+                    return outcome;
+                }
                 let outcome = construct_concave_fused(mesh, faults);
                 debug_assert!(
                     faults.len() > ORACLE_NODE_CAP || {

@@ -29,9 +29,11 @@ use faultgen::FaultDistribution;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_figures [--dim 2|3] [--quick] [--trials N] [--csv] [--streaming] \
-         [--models A,B,..] [--distribution random|clustered] [--list-models] \
+        "usage: paper_figures [--dim 2|3] [--quick] [--trials N] [--threads N] [--csv] \
+         [--streaming] [--models A,B,..] [--distribution random|clustered] [--list-models] \
          <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>...\n\
+         --threads pins the worker-pool size (overriding RAYON_NUM_THREADS);\n\
+         1 disables the pool entirely. Output is identical at any thread count.\n\
          figures suffixed 'a' use the random distribution, 'b' the clustered one;\n\
          --distribution restricts the run to one distribution regardless of suffix.\n\
          --dim 3 runs the 3-D extension sweep (FB-3D vs MFP-3D on a 32x32x32 mesh)\n\
@@ -53,6 +55,7 @@ fn main() {
     let mut streaming = false;
     let mut dim: u32 = 2;
     let mut trials: Option<u32> = None;
+    let mut threads: Option<usize> = None;
     let mut models: Option<Vec<String>> = None;
     let mut only_distribution: Option<FaultDistribution> = None;
     let mut figures: Vec<String> = Vec::new();
@@ -73,6 +76,13 @@ fn main() {
             "--trials" => {
                 let n = args.next().unwrap_or_else(|| usage());
                 trials = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--threads" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                threads = Some(n.parse().unwrap_or_else(|_| usage()));
+                if threads == Some(0) {
+                    usage();
+                }
             }
             "--models" => {
                 let list = args.next().unwrap_or_else(|| usage());
@@ -101,6 +111,15 @@ fn main() {
     }
     if figures.is_empty() {
         figures.push("all".to_string());
+    }
+
+    // Pin the global pool before any parallel work, overriding the
+    // RAYON_NUM_THREADS environment variable.
+    if let Some(n) = threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("--threads must be set before the pool is used");
     }
 
     let mut config = if quick {

@@ -214,25 +214,25 @@ impl ScenarioResult {
     }
 }
 
-/// Spawns one scoped thread per trial and joins the results in trial
-/// order — the skeleton shared by the batch and streaming runners, so
-/// their deterministic trial-order averaging cannot drift apart.
+/// Runs the trials on the work-stealing pool and collects the results
+/// in trial order — the skeleton shared by the batch and streaming
+/// runners, so their deterministic trial-order averaging cannot drift
+/// apart. The pool caps concurrency at its worker count (a 100-trial
+/// scenario no longer creates 100 OS threads), and the ordered collect
+/// keeps result `t` at index `t` regardless of scheduling.
 pub(crate) fn run_trials<T: Send>(trials: u32, run: impl Fn(u32) -> T + Sync) -> Vec<T> {
-    let run = &run;
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..trials).map(|t| scope.spawn(move |_| run(t))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("trial panicked"))
-            .collect()
-    })
-    .expect("trial scope panicked")
+    use rayon::prelude::*;
+    (0..trials).into_par_iter().map(run).collect()
 }
 
 /// Runs every model of `scenario` (resolved through `registry`) over its
 /// fault counts, averaging `trials` independent seeded fault sequences.
-/// Trials run on separate threads; the result is deterministic for a
-/// given scenario.
+/// Trials (and the models within each trial) run as tasks on the
+/// work-stealing pool; the result is deterministic for a given scenario
+/// at any thread count, because trial `t` always draws from seed
+/// `base_seed + t` and both parallel collects are ordered (output index
+/// = input index), so the final averaging folds identical numbers in an
+/// identical order.
 ///
 /// This is the **only** sweep code path: the dimension is decided by the
 /// registry's topology parameter (`ModelRegistry<Mesh2D>` for the paper's
@@ -307,10 +307,15 @@ fn run_trial<T: MeshTopology>(
     for &count in &scenario.fault_counts {
         injector.inject_up_to(count);
         let faults = injector.faults();
+        // The fault sequence is incremental across counts, so the counts
+        // stay sequential — but at a fixed count the models are
+        // independent and fan out across the pool (ordered collect keeps
+        // the metrics column order equal to the scenario's model order).
+        use rayon::prelude::*;
         points.push(ScenarioPoint {
             fault_count: count,
             metrics: models
-                .iter()
+                .par_iter()
                 .map(|model| ModelPoint::from_outcome(&model.construct(&mesh, faults)))
                 .collect(),
         });

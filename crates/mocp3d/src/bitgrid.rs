@@ -402,30 +402,81 @@ impl BitGrid3 {
     /// neighboring lines. Components come out in first-seen (x-major
     /// storage) order, each framed by its own bounding box — the same
     /// order the scalar index-scan flood produces.
+    ///
+    /// With an active thread pool and enough z-extent, the grid is cut
+    /// into contiguous z-slabs flooded in parallel and stitched back
+    /// together (`components26_parallel`);
+    /// the result order is identical because both paths order components
+    /// by their lexicographically minimal `(z, y, x)` cell — which is
+    /// exactly the first-seen storage order of the sequential scan.
     pub fn components26(&self) -> Vec<BitGrid3> {
+        let threads = rayon::current_num_threads();
+        if threads > 1 && self.dim_z >= 4 {
+            // One slab per thread, but keep slabs at least 2 rows thick
+            // so the flood does real work between the stitch boundaries.
+            let slabs = threads.min(self.dim_z / 2);
+            if slabs > 1 {
+                let parallel = self.components26_parallel(slabs);
+                #[cfg(debug_assertions)]
+                if self.words.len() <= 4096 {
+                    let sequential: Vec<BitGrid3> = self
+                        .components26_range(0, self.dim_z)
+                        .into_iter()
+                        .map(|(grid, _)| grid)
+                        .collect();
+                    debug_assert_eq!(parallel.len(), sequential.len());
+                    for (p, s) in parallel.iter().zip(&sequential) {
+                        debug_assert!(
+                            p.len() == s.len() && p.is_subset_of(s),
+                            "slab-parallel components diverged from the sequential flood"
+                        );
+                    }
+                }
+                return parallel;
+            }
+        }
+        self.components26_range(0, self.dim_z)
+            .into_iter()
+            .map(|(grid, _)| grid)
+            .collect()
+    }
+
+    /// The flood of [`components26`](Self::components26) restricted to
+    /// grid-relative z rows `band_lo..band_hi`: connectivity never
+    /// crosses the band boundary, so each band can run independently.
+    /// Returns each in-band component piece with its lexicographically
+    /// minimal `(z, y, x)` cell (= its seed, since the seed scan walks
+    /// storage order).
+    fn components26_range(&self, band_lo: usize, band_hi: usize) -> Vec<(BitGrid3, Coord3)> {
         let ww = self.width_words;
         let total = self.words.len();
-        if total == 0 {
-            return Vec::new();
+        let mut out = Vec::new();
+        if total == 0 || band_lo >= band_hi {
+            return out;
         }
         let mut visited = vec![0u64; total];
         let mut comp = vec![0u64; total];
         let mut frontier = vec![0u64; total];
         let mut next = vec![0u64; total];
         let mut spread = vec![0u64; total];
-        let mut out = Vec::new();
         let line_of = |word: usize| word / ww;
         let yz = |line: usize| (line % self.dim_y, line / self.dim_y);
 
-        for seed_word in 0..total {
+        for seed_word in band_lo * self.dim_y * ww..band_hi * self.dim_y * ww {
             loop {
                 let avail = self.words[seed_word] & !visited[seed_word];
                 if avail == 0 {
                     break;
                 }
-                let seed_bit = 1u64 << avail.trailing_zeros();
+                let seed_bit_index = avail.trailing_zeros();
+                let seed_bit = 1u64 << seed_bit_index;
                 let seed_line = line_of(seed_word);
                 let (sy, sz) = yz(seed_line);
+                let min_cell = Coord3::new(
+                    self.origin_x + ((seed_word % ww) * 64) as i32 + seed_bit_index as i32,
+                    self.origin_y + sy as i32,
+                    self.origin_z + sz as i32,
+                );
                 comp[seed_word] = seed_bit;
                 frontier[seed_word] = seed_bit;
                 // Frontier (y, z) ranges and overall component ranges.
@@ -440,8 +491,8 @@ impl BitGrid3 {
                     }
                     let sylo = ylo.saturating_sub(1);
                     let syhi = (yhi + 1).min(self.dim_y - 1);
-                    let szlo = zlo.saturating_sub(1);
-                    let szhi = (zhi + 1).min(self.dim_z - 1);
+                    let szlo = zlo.saturating_sub(1).max(band_lo);
+                    let szhi = (zhi + 1).min(band_hi - 1);
                     let mut any = false;
                     let (mut nylo, mut nyhi, mut nzlo, mut nzhi) =
                         (usize::MAX, 0usize, usize::MAX, 0usize);
@@ -494,12 +545,12 @@ impl BitGrid3 {
                     czhi = czhi.max(zhi);
                 }
 
-                out.push(self.extract_lines(&comp, cylo, cyhi, czlo, czhi));
+                out.push((self.extract_lines(&comp, cylo, cyhi, czlo, czhi), min_cell));
 
                 let sylo = cylo.saturating_sub(1);
                 let syhi = (cyhi + 1).min(self.dim_y - 1);
-                let szlo = czlo.saturating_sub(1);
-                let szhi = (czhi + 1).min(self.dim_z - 1);
+                let szlo = czlo.saturating_sub(1).max(band_lo);
+                let szhi = (czhi + 1).min(band_hi - 1);
                 for z in szlo..=szhi {
                     for y in sylo..=syhi {
                         let l = (z * self.dim_y + y) * ww;
@@ -515,6 +566,109 @@ impl BitGrid3 {
             }
         }
         out
+    }
+
+    /// Slab decomposition of [`components26`](Self::components26): cut
+    /// the z rows into `slabs` contiguous bands, flood each band on the
+    /// pool, then stitch pieces that touch across a band boundary with a
+    /// union-find (26-connectivity means a component's z-extent is
+    /// contiguous, so only pieces in *adjacent* bands can belong to the
+    /// same component). The stitched components are sorted by their
+    /// minimal `(z, y, x)` cell, reproducing the sequential flood's
+    /// first-seen order bit for bit.
+    ///
+    /// `pub(crate)` so the test suite can drive specific slab counts
+    /// directly, independent of the ambient pool size.
+    pub(crate) fn components26_parallel(&self, slabs: usize) -> Vec<BitGrid3> {
+        use rayon::prelude::*;
+
+        let slabs = slabs.clamp(1, self.dim_z.max(1));
+        // Contiguous band boundaries: band `b` covers rows
+        // `bounds[b]..bounds[b + 1]`.
+        let bounds: Vec<usize> = (0..=slabs).map(|b| b * self.dim_z / slabs).collect();
+        let band_pieces: Vec<Vec<(BitGrid3, Coord3)>> = (0..slabs)
+            .into_par_iter()
+            .map(|b| self.components26_range(bounds[b], bounds[b + 1]))
+            .collect();
+
+        // Flatten, remembering each piece's band and bounding box.
+        struct Piece {
+            grid: BitGrid3,
+            min_cell: Coord3,
+            band: usize,
+            bbox: (Coord3, Coord3),
+        }
+        let mut pieces: Vec<Piece> = Vec::new();
+        for (band, list) in band_pieces.into_iter().enumerate() {
+            for (grid, min_cell) in list {
+                let bbox = grid.bounding_box().expect("components are non-empty");
+                pieces.push(Piece {
+                    grid,
+                    min_cell,
+                    band,
+                    bbox,
+                });
+            }
+        }
+
+        // Union-find over pieces, stitching across each band boundary.
+        let mut parent: Vec<usize> = (0..pieces.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for a in 0..pieces.len() {
+            let boundary_z = self.origin_z + bounds[pieces[a].band + 1] as i32 - 1;
+            if pieces[a].bbox.1.z != boundary_z {
+                continue; // does not reach its band's top row
+            }
+            // Lazily dilate the boundary-touching piece once.
+            let mut dilated: Option<BitGrid3> = None;
+            for b in 0..pieces.len() {
+                if pieces[b].band != pieces[a].band + 1 || pieces[b].bbox.0.z != boundary_z + 1 {
+                    continue;
+                }
+                // Cheap proximity filter on the x/y boxes (±1 halo).
+                let (alo, ahi) = pieces[a].bbox;
+                let (blo, bhi) = pieces[b].bbox;
+                if alo.x > bhi.x + 1 || blo.x > ahi.x + 1 || alo.y > bhi.y + 1 || blo.y > ahi.y + 1
+                {
+                    continue;
+                }
+                let dilated = dilated.get_or_insert_with(|| pieces[a].grid.dilate26());
+                if dilated.intersects(&pieces[b].grid) {
+                    let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+
+        // Merge each union-find class into one grid, keyed by the class's
+        // minimal cell. `union_with` may leave a word-aligned (wider)
+        // frame than the sequential tight extraction; frames are not
+        // observable through Region3's content-based API.
+        let mut merged: Vec<Option<(Coord3, BitGrid3)>> = (0..pieces.len()).map(|_| None).collect();
+        for (i, piece) in pieces.into_iter().enumerate() {
+            let root = find(&mut parent, i);
+            match &mut merged[root] {
+                slot @ None => *slot = Some((piece.min_cell, piece.grid)),
+                Some((min_cell, grid)) => {
+                    let (a, b) = (*min_cell, piece.min_cell);
+                    if (b.z, b.y, b.x) < (a.z, a.y, a.x) {
+                        *min_cell = b;
+                    }
+                    grid.union_with(&piece.grid);
+                }
+            }
+        }
+        let mut components: Vec<(Coord3, BitGrid3)> = merged.into_iter().flatten().collect();
+        components.sort_by_key(|(c, _)| (c.z, c.y, c.x));
+        components.into_iter().map(|(_, grid)| grid).collect()
     }
 
     /// Copies the set bits of `bits` within the given `(y, z)` line ranges
@@ -798,5 +952,62 @@ mod tests {
         assert_eq!(added, 1);
         assert!(u.contains(Coord3::new(1, 1, 0)));
         assert!(u.is_orthogonally_convex());
+    }
+
+    /// Content-and-order equality between two component lists (frames
+    /// may differ: the slab merge leaves word-padded frames).
+    fn assert_same_components(parallel: &[BitGrid3], sequential: &[BitGrid3]) {
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(sequential) {
+            assert_eq!(p.len(), s.len());
+            assert!(p.is_subset_of(s), "component content or order diverged");
+        }
+    }
+
+    /// Every slab count must reproduce the sequential flood exactly —
+    /// including components that snake across several slab boundaries.
+    #[test]
+    fn slab_parallel_components_match_sequential_at_any_slab_count() {
+        // A z-spanning diagonal chain (crosses every boundary), a flat
+        // plate confined to one slab, two singletons in the same word,
+        // and a second chain that merges with the plate mid-grid.
+        let mut cells = Vec::new();
+        for z in 0..16 {
+            cells.push((z, z, z)); // diagonal chain through all z
+        }
+        for x in 30..34 {
+            for y in 0..3 {
+                cells.push((x, y, 7)); // plate inside one slab
+            }
+        }
+        cells.push((30, 3, 8)); // touches the plate across z=7/8
+        cells.push((60, 0, 0));
+        cells.push((62, 0, 0)); // same word, separate components
+        let g = grid(&cells);
+
+        let sequential = g.components26_parallel(1);
+        assert_same_components(&g.components26(), &sequential);
+        for slabs in 2..=8 {
+            assert_same_components(&g.components26_parallel(slabs), &sequential);
+        }
+    }
+
+    /// The stitched order is the sequential first-seen order: ascending
+    /// minimal (z, y, x) cell.
+    #[test]
+    fn slab_parallel_component_order_is_min_cell_order() {
+        let g = grid(&[
+            (5, 5, 9), // late in storage order
+            (0, 0, 4),
+            (1, 0, 4), // middle component
+            (7, 7, 0), // first in storage order
+        ]);
+        for slabs in [1, 2, 3, 5] {
+            let comps = g.components26_parallel(slabs);
+            assert_eq!(comps.len(), 3);
+            assert!(comps[0].contains(Coord3::new(7, 7, 0)));
+            assert!(comps[1].contains(Coord3::new(0, 0, 4)));
+            assert!(comps[2].contains(Coord3::new(5, 5, 9)));
+        }
     }
 }

@@ -57,8 +57,12 @@ fn merge_process(mesh: &Mesh3D, faults: &FaultSet3, name: &'static str, cuboid: 
     let mut growth_rounds = 0u32;
     let regions = loop {
         let components = excluded.components26();
+        // The hulls are independent per component — fan them out over
+        // the pool (ordered collect keeps the component order, and with
+        // one effective thread this is a plain sequential map).
+        use rayon::prelude::*;
         let completed: Vec<Region3> = components
-            .iter()
+            .par_iter()
             .map(|c| complete_component(c, cuboid))
             .collect();
         // Completions stay inside their component's bounding box, and

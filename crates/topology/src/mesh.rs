@@ -47,16 +47,18 @@ pub trait MeshTopology: Copy + PartialEq + Debug + Send + Sync + 'static {
     /// dimension's bit-parallel kernels; shared with
     /// [`Region::to_bitmap`](RegionOps::to_bitmap) so regions and meshes
     /// speak the same fast-path type.
-    type Bitmap: BitmapOps<Coord = Self::Coord>;
+    type Bitmap: BitmapOps<Coord = Self::Coord> + Send + Sync;
 
     /// Node-set type with the shared geometric ops.
-    type Region: RegionOps<Coord = Self::Coord, Bitmap = Self::Bitmap>;
+    type Region: RegionOps<Coord = Self::Coord, Bitmap = Self::Bitmap> + Send + Sync;
 
     /// Per-node construction-status storage.
-    type Status: StatusOps<Coord = Self::Coord>;
+    type Status: StatusOps<Coord = Self::Coord> + Send + Sync;
 
-    /// Fault-population type driven by the generic injector.
-    type FaultSet: FaultStore<Self>;
+    /// Fault-population type driven by the generic injector. `Send +
+    /// Sync` (like the other associated data types) so fault sets and
+    /// regions can be shared with the work-stealing pool's tasks.
+    type FaultSet: FaultStore<Self> + Send + Sync;
 
     /// Number of spatial dimensions (2 or 3 in this workspace).
     const DIM: u32;

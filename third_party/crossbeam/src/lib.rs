@@ -1,9 +1,11 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The workspace only uses `crossbeam::scope` (scoped threads whose
-//! closures receive the scope so they could spawn nested work). Since
-//! Rust 1.63 the standard library provides `std::thread::scope`, so this
-//! shim is a thin adapter that preserves crossbeam's call shape:
+//! The workspace uses `crossbeam::scope` (scoped threads whose closures
+//! receive the scope so they could spawn nested work) and
+//! [`utils::CachePadded`] (cache-line padding for the `rayon` shim's
+//! per-worker deques). Since Rust 1.63 the standard library provides
+//! `std::thread::scope`, so the scope here is a thin adapter that
+//! preserves crossbeam's call shape:
 //!
 //! ```
 //! let sums = crossbeam::scope(|scope| {
@@ -22,6 +24,7 @@
 //! its handles, so the difference is unobservable here.
 
 pub mod thread;
+pub mod utils;
 
 pub use thread::scope;
 

@@ -1,0 +1,73 @@
+//! Utilities mirrored from `crossbeam-utils`.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, mirroring
+/// `crossbeam_utils::CachePadded`.
+///
+/// The work-stealing deques of the `rayon` shim are one `CachePadded`
+/// slot per worker: without the padding, two workers' queue heads can
+/// share a cache line and every push/pop ping-pongs the line between
+/// cores (false sharing). 128 bytes covers the spatial-prefetcher pair
+/// of 64-byte lines on x86-64 and the 128-byte lines of apple-silicon,
+/// the same constant the real crate uses for these targets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads `value` to a cache-line boundary.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_value_is_transparent() {
+        let mut padded = CachePadded::new(7u32);
+        assert_eq!(*padded, 7);
+        *padded += 1;
+        assert_eq!(padded.into_inner(), 8);
+    }
+
+    #[test]
+    fn alignment_is_at_least_a_cache_line() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        // Adjacent array slots can never share a cache line.
+        let slots = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &slots[0] as *const _ as usize;
+        let b = &slots[1] as *const _ as usize;
+        assert!(b - a >= 128);
+    }
+}

@@ -1,0 +1,305 @@
+//! The chunked `par_iter` facade: only the subset the workspace uses
+//! (index ranges, slices, `map`, `map_init`, `for_each`, `collect` into
+//! `Vec`). See `third_party/README.md` for the exact supported surface.
+//!
+//! Everything here reduces to one internal abstraction, [`Chunked`]:
+//! a source that knows its length and can produce the items of any
+//! sub-range `[lo, hi)` into a sink, tagged with their input index. The
+//! drivers split the index space recursively with [`join`](crate::join)
+//! down to a chunk size of `ceil(len / (4 × threads))`, so the pool has
+//! enough over-decomposition to steal from, and write each item into its
+//! input-index slot. That makes every result **ordered**: output position
+//! is a function of input position alone, never of scheduling — the
+//! property the determinism suite pins down.
+
+use crate::join;
+use std::ops::Range;
+
+/// Internal chunk-level abstraction behind the parallel iterators.
+///
+/// Not meant to be implemented outside this crate; it is public only
+/// because it is a supertrait of [`ParallelIterator`].
+pub trait Chunked: Sync + Sized {
+    /// The item type produced for each index.
+    type Item: Send;
+
+    /// Total number of items.
+    fn length(&self) -> usize;
+
+    /// Produces the items of `[lo, hi)` in ascending index order,
+    /// calling `sink(index, item)` for each. Per-chunk state (e.g.
+    /// `map_init` scratch) is created once per call.
+    fn run_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(usize, Self::Item));
+}
+
+/// Chunk granularity: over-decompose by 4× the thread count so idle
+/// workers always find something to steal, but never below one item.
+fn chunk_size(len: usize) -> usize {
+    let threads = crate::current_num_threads();
+    if threads <= 1 {
+        // Sequential context: one chunk, zero splitting overhead.
+        len.max(1)
+    } else {
+        len.div_ceil(4 * threads).max(1)
+    }
+}
+
+/// Recursive collect driver: splits `out` (the `[lo, ...)` window of the
+/// result buffer) with `join` until chunks are small, then materializes
+/// items into their slots. `Option` slots keep partially-filled buffers
+/// safe to drop when a chunk panics.
+fn drive_collect<C: Chunked>(source: &C, lo: usize, out: &mut [Option<C::Item>], chunk: usize) {
+    let len = out.len();
+    if len <= chunk {
+        source.run_chunk(lo, lo + len, &mut |index, item| {
+            debug_assert!(out[index - lo].is_none(), "index produced twice");
+            out[index - lo] = Some(item);
+        });
+    } else {
+        let mid = len / 2;
+        let (left, right) = out.split_at_mut(mid);
+        join(
+            || drive_collect(source, lo, left, chunk),
+            || drive_collect(source, lo + mid, right, chunk),
+        );
+    }
+}
+
+/// Recursive driver for effect-only consumption (`for_each`).
+fn drive_discard<C: Chunked>(source: &C, lo: usize, hi: usize, chunk: usize) {
+    let len = hi - lo;
+    if len <= chunk {
+        source.run_chunk(lo, hi, &mut |_, _| {});
+    } else {
+        let mid = lo + len / 2;
+        join(
+            || drive_discard(source, lo, mid, chunk),
+            || drive_discard(source, mid, hi, chunk),
+        );
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace uses. All
+/// implementations are *indexed*: results keep input order.
+pub trait ParallelIterator: Chunked {
+    /// Applies `op` to every item.
+    fn map<F, R>(self, op: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, op }
+    }
+
+    /// Like [`map`](Self::map), but `op` also receives a mutable scratch
+    /// value created by `init` once per chunk — the shim's vehicle for
+    /// per-worker scratch buffers (no shared mutable state across tasks).
+    fn map_init<INIT, S, F, R>(self, init: INIT, op: F) -> MapInit<Self, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit {
+            base: self,
+            init,
+            op,
+        }
+    }
+
+    /// Runs `op` on every item for its side effects.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let mapped = self.map(op);
+        let len = mapped.length();
+        drive_discard(&mapped, 0, len, chunk_size(len));
+    }
+
+    /// Collects into `C`, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+impl<T: Chunked> ParallelIterator for T {}
+
+/// Collection types that can absorb an ordered parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Vec<T>
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let len = iter.length();
+        let chunk = chunk_size(len);
+        if chunk >= len {
+            // Single chunk: build the Vec directly, no Option slots.
+            let mut out = Vec::with_capacity(len);
+            iter.run_chunk(0, len, &mut |_, item| out.push(item));
+            return out;
+        }
+        let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+        drive_collect(&iter, 0, &mut slots, chunk);
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("parallel iterator left an index unfilled"))
+            .collect()
+    }
+}
+
+/// Values convertible into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `by_ref.par_iter()` sugar, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: ?Sized + 'a> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoParallelIterator,
+{
+    type Item = <&'a T as IntoParallelIterator>::Item;
+    type Iter = <&'a T as IntoParallelIterator>::Iter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange<Idx> {
+    range: Range<Idx>,
+}
+
+macro_rules! par_range_impl {
+    ($t:ty) => {
+        impl Chunked for ParRange<$t> {
+            type Item = $t;
+
+            fn length(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+
+            fn run_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(usize, $t)) {
+                for index in lo..hi {
+                    sink(index, self.range.start + index as $t);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    };
+}
+
+par_range_impl!(usize);
+par_range_impl!(u32);
+par_range_impl!(u64);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Chunked for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn length(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn run_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(usize, &'a T)) {
+        for (index, item) in self.slice[lo..hi].iter().enumerate() {
+            sink(lo + index, item);
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    op: F,
+}
+
+impl<B, F, R> Chunked for Map<B, F>
+where
+    B: Chunked,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn length(&self) -> usize {
+        self.base.length()
+    }
+
+    fn run_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(usize, R)) {
+        self.base
+            .run_chunk(lo, hi, &mut |index, item| sink(index, (self.op)(item)));
+    }
+}
+
+/// See [`ParallelIterator::map_init`].
+pub struct MapInit<B, INIT, F> {
+    base: B,
+    init: INIT,
+    op: F,
+}
+
+impl<B, INIT, S, F, R> Chunked for MapInit<B, INIT, F>
+where
+    B: Chunked,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn length(&self) -> usize {
+        self.base.length()
+    }
+
+    fn run_chunk(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(usize, R)) {
+        let mut state = (self.init)();
+        self.base.run_chunk(lo, hi, &mut |index, item| {
+            sink(index, (self.op)(&mut state, item))
+        });
+    }
+}

@@ -1,14 +1,162 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by a real
+//! work-stealing thread pool.
 //!
-//! Only [`join`] is provided — the workspace uses it for coarse two-way
-//! parallelism (e.g. running the random and clustered sweeps of the
-//! paper's figures concurrently). There is no work-stealing pool: the
-//! second closure runs on a freshly spawned scoped thread while the
-//! first runs on the caller's thread, which is the right trade-off for
-//! the long-running, two-armed workloads this workspace has.
+//! The shim provides only the subset the workspace uses (see
+//! `third_party/README.md` for the full table):
+//!
+//! * [`join`] — pool-aware recursive fork-join: on a pool worker the
+//!   second closure is pushed onto the worker's own deque where idle
+//!   workers can steal it; from an external thread it is injected into
+//!   the pool; with no pool (one effective thread) both closures run
+//!   sequentially on the caller with zero spawning;
+//! * [`scope`] / [`Scope::spawn`] and the free [`spawn`] — structured
+//!   and fire-and-forget task spawning;
+//! * [`iter`] — chunked, **ordered** `par_iter`/`into_par_iter` over
+//!   slices and index ranges with `map`/`map_init`/`for_each`/`collect`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — explicit pools
+//!   for scaling runs and tests.
+//!
+//! The global pool is created lazily on first use, sized from
+//! `RAYON_NUM_THREADS` when set (a value of `0` means "use the
+//! default"), otherwise from `std::thread::available_parallelism`. When
+//! the effective thread count is 1 **no pool threads are spawned at
+//! all** and every operation degenerates to plain sequential code — the
+//! mode CI pins with `RAYON_NUM_THREADS=1`.
+//!
+//! Divergences from real rayon, accepted for this workspace:
+//! [`ThreadPool::install`] runs the closure on the *calling* thread
+//! (with dispatch redirected to the pool) rather than on a worker, and
+//! [`spawn`] without a pool runs the closure inline (blocking) instead
+//! of on a global worker.
 
-/// Runs both closures, potentially in parallel, and returns both results.
-/// A panic in either closure propagates to the caller.
+pub mod iter;
+mod registry;
+
+use registry::{current_worker, HeapJob, Latch, Registry, StackJob};
+use std::any::Any;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+};
+
+/// Everything a consumer normally imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Pool context resolution
+// ---------------------------------------------------------------------------
+
+/// The global pool, initialized lazily (or eagerly by
+/// [`ThreadPoolBuilder::build_global`]). `None` = sequential mode.
+static GLOBAL: OnceLock<Option<Arc<Registry>>> = OnceLock::new();
+
+thread_local! {
+    /// Stack of [`ThreadPool::install`] overrides for this thread;
+    /// `None` entries select sequential mode.
+    static INSTALLED: RefCell<Vec<Option<Arc<Registry>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Where parallel operations on the current thread should run.
+enum Context {
+    /// This thread IS a pool worker (registry pointer + worker index).
+    /// The pointer is only dereferenced on this thread, which keeps the
+    /// registry alive through its worker `Arc`.
+    Worker(*const Registry, usize),
+    /// An external thread with an active pool to inject into.
+    Pool(Arc<Registry>),
+    /// No pool: run everything inline.
+    Sequential,
+}
+
+fn current_context() -> Context {
+    if let Some((registry, index)) = current_worker() {
+        return Context::Worker(registry, index);
+    }
+    let installed = INSTALLED.with(|stack| stack.borrow().last().cloned());
+    match installed {
+        Some(Some(registry)) => Context::Pool(registry),
+        Some(None) => Context::Sequential,
+        None => match global_registry() {
+            Some(registry) => Context::Pool(Arc::clone(registry)),
+            None => Context::Sequential,
+        },
+    }
+}
+
+fn global_registry() -> Option<&'static Arc<Registry>> {
+    GLOBAL
+        .get_or_init(|| {
+            let threads = default_num_threads();
+            if threads <= 1 {
+                None
+            } else {
+                let (registry, handles) = Registry::start(threads);
+                // Global workers live for the whole process; the handles
+                // are deliberately detached.
+                drop(handles);
+                Some(registry)
+            }
+        })
+        .as_ref()
+}
+
+/// Thread count from `RAYON_NUM_THREADS` (0 or unparsable = default),
+/// falling back to the machine's available parallelism.
+fn default_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|raw| parse_thread_count(&raw))
+    {
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Parses a `RAYON_NUM_THREADS` value: `Some(n)` for a positive integer,
+/// `None` for `0`, empty, or garbage (all meaning "use the default").
+fn parse_thread_count(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+/// The number of threads parallel work dispatched from this thread will
+/// use: the owning pool's size on a worker, the installed or global
+/// pool's size elsewhere, and 1 in sequential mode.
+pub fn current_num_threads() -> usize {
+    match current_context() {
+        Context::Worker(registry, _) => unsafe { (*registry).num_threads() },
+        Context::Pool(registry) => registry.num_threads(),
+        Context::Sequential => 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs both closures, potentially in parallel, and returns both
+/// results. A panic in either closure propagates to the caller (if both
+/// panic, `a`'s payload wins, as in real rayon).
+///
+/// On a pool worker `b` is published on the worker's deque for stealing
+/// and the caller runs `a`; if nobody stole `b` the caller runs it
+/// inline (LIFO pop), otherwise the caller *helps* — executing other
+/// pool jobs — until the thief finishes. This is what makes deeply
+/// nested joins cheap and deadlock-free. Without a pool, `join`
+/// degenerates to `(a(), b())`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -16,21 +164,377 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|scope| {
-        let handle = scope.spawn(b);
-        let ra = a();
-        let rb = handle
-            .join()
-            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        (ra, rb)
-    })
+    match current_context() {
+        Context::Worker(registry, index) => {
+            let registry = unsafe { &*registry };
+            join_on_worker(registry, index, a, b)
+        }
+        Context::Pool(registry) => join_external(&registry, a, b),
+        Context::Sequential => (a(), b()),
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(registry: &Registry, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    // Safety: `job_b` outlives the job — every path below either pops it
+    // back un-executed or waits for its latch before returning/unwinding.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    let id = job_ref.id();
+    registry.push_local(index, job_ref);
+
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+    match registry.pop_local_if(index, id) {
+        Some(job) => {
+            if ra.is_ok() {
+                // Nobody stole b: run it inline (keeps the latch/result
+                // protocol uniform).
+                unsafe { job.execute() };
+            }
+            // else: a panicked and b never started — drop it unexecuted.
+        }
+        None => {
+            // b was stolen; help with other work until the thief is done.
+            registry.wait_until(index, &job_b.latch);
+        }
+    }
+
+    let ra = match ra {
+        Ok(ra) => ra,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    let rb = match unsafe { job_b.take_result() } {
+        Ok(rb) => rb,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    (ra, rb)
+}
+
+fn join_external<A, B, RA, RB>(registry: &Registry, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    // Safety: injected jobs cannot be retracted, so this thread always
+    // waits for the latch before `job_b` leaves scope — panics included.
+    registry.inject(unsafe { job_b.as_job_ref() });
+
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    job_b.latch.wait_blocking();
+
+    let ra = match ra {
+        Ok(ra) => ra,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    let rb = match unsafe { job_b.take_result() } {
+        Ok(rb) => rb,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    (ra, rb)
+}
+
+// ---------------------------------------------------------------------------
+// scope / spawn
+// ---------------------------------------------------------------------------
+
+struct ScopeState {
+    /// Outstanding units: 1 for the scope body plus 1 per spawned job.
+    pending: AtomicUsize,
+    /// Set when `pending` reaches zero.
+    latch: Latch,
+    /// First panic from a spawned job, replayed after all jobs finish.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn job_completed(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.latch.set();
+        }
+    }
+}
+
+/// A structured-concurrency scope: closures spawned through it may
+/// borrow from the enclosing frame (`'scope`), and [`scope`] does not
+/// return until every spawned job has completed.
+pub struct Scope<'scope> {
+    state: ScopeState,
+    marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+/// A `*const Scope` that may cross threads. Sound because the `Scope`
+/// lives on `scope()`'s stack frame, which outlives every spawned job
+/// (the latch is waited on before the frame unwinds).
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` into the scope. With a pool the job runs on a
+    /// worker (or is injected from an external thread); without one it
+    /// runs inline immediately.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let run = move || {
+            // Bind the wrapper whole, or edition-2021 disjoint capture
+            // would capture only the (non-Send) raw-pointer field.
+            let scope_ptr = scope_ptr;
+            // Safety: see ScopePtr — the scope outlives the job.
+            let scope = unsafe { &*scope_ptr.0 };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(scope)));
+            if let Err(payload) = result {
+                scope.state.record_panic(payload);
+            }
+            scope.state.job_completed();
+        };
+        match current_context() {
+            Context::Worker(registry, index) => {
+                let registry = unsafe { &*registry };
+                registry.push_local(index, erase_scope_job(run));
+            }
+            Context::Pool(registry) => registry.inject(erase_scope_job(run)),
+            Context::Sequential => run(),
+        }
+    }
+}
+
+/// Boxes a `'scope` closure and erases its lifetime to `'static` for the
+/// job queue. Safety: the scope's latch guarantees the job runs (and its
+/// borrows end) before `scope()` returns.
+fn erase_scope_job<'scope, F>(run: F) -> registry::JobRef
+where
+    F: FnOnce() + Send + 'scope,
+{
+    let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(run);
+    let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+    HeapJob::into_job_ref(boxed)
+}
+
+/// Creates a scope in which closures borrowing the enclosing frame can
+/// be spawned; returns only after all of them completed. A panic in the
+/// body or any spawned job propagates to the caller (body first).
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        state: ScopeState {
+            pending: AtomicUsize::new(1),
+            latch: Latch::new(),
+            panic: Mutex::new(None),
+        },
+        marker: PhantomData,
+    };
+
+    let body_result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    scope.state.job_completed(); // the body's own unit
+
+    // Wait for every spawned job — helping with pool work on a worker,
+    // blocking otherwise (in sequential mode the latch is already set).
+    match current_context() {
+        Context::Worker(registry, index) => {
+            let registry = unsafe { &*registry };
+            registry.wait_until(index, &scope.state.latch);
+        }
+        Context::Pool(_) | Context::Sequential => scope.state.latch.wait_blocking(),
+    }
+
+    let spawn_panic = scope.state.panic.lock().unwrap().take();
+    match body_result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(result) => {
+            if let Some(payload) = spawn_panic {
+                panic::resume_unwind(payload);
+            }
+            result
+        }
+    }
+}
+
+/// Fire-and-forget spawn onto the current pool. Without a pool the
+/// closure runs inline before `spawn` returns (a documented divergence
+/// from real rayon, which always has a global pool).
+pub fn spawn<F>(body: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    match current_context() {
+        Context::Worker(registry, index) => {
+            let registry = unsafe { &*registry };
+            registry.push_local(index, HeapJob::into_job_ref(Box::new(body)));
+        }
+        Context::Pool(registry) => registry.inject(HeapJob::into_job_ref(Box::new(body))),
+        Context::Sequential => body(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ThreadPoolBuilder
+// ---------------------------------------------------------------------------
+
+/// An explicitly constructed pool. Dropping it shuts the workers down.
+pub struct ThreadPool {
+    registry: Option<Arc<Registry>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Number of worker threads (1 when the pool is in sequential mode).
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.as_ref().map_or(1, |r| r.num_threads())
+    }
+
+    /// Runs `op` with parallel dispatch redirected to this pool.
+    ///
+    /// Divergence from real rayon: `op` itself executes on the *calling*
+    /// thread — only the parallel operations inside it move to the pool.
+    /// Equivalent for every use in this workspace, where `install` wraps
+    /// whole workloads.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        INSTALLED.with(|stack| stack.borrow_mut().push(self.registry.clone()));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                INSTALLED.with(|stack| {
+                    stack.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        op()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(registry) = &self.registry {
+            registry.terminate();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] when the global pool
+/// already exists.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the supported knobs.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Pins the thread count; `0` (or not calling this) means the
+    /// default (`RAYON_NUM_THREADS` or available parallelism).
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    fn resolve(&self) -> usize {
+        match self.num_threads {
+            Some(n) if n > 0 => n,
+            _ => default_num_threads(),
+        }
+    }
+
+    /// Builds an explicit pool. A thread count of 1 yields a pool in
+    /// sequential mode (no worker threads at all).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.resolve();
+        if threads <= 1 {
+            return Ok(ThreadPool {
+                registry: None,
+                handles: Vec::new(),
+            });
+        }
+        let (registry, handles) = Registry::start(threads);
+        Ok(ThreadPool {
+            registry: Some(registry),
+            handles,
+        })
+    }
+
+    /// Initializes the global pool with this configuration. Fails if the
+    /// global pool was already created (by an earlier `build_global` or
+    /// lazily by a parallel operation).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let threads = self.resolve();
+        let value = if threads <= 1 {
+            None
+        } else {
+            let (registry, handles) = Registry::start(threads);
+            drop(handles); // detached, process-lifetime workers
+            Some(registry)
+        };
+        GLOBAL.set(value).map_err(|rejected| {
+            if let Some(registry) = rejected {
+                registry.terminate();
+            }
+            ThreadPoolBuildError {
+                message: "the global thread pool has already been initialized",
+            }
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
     #[test]
     fn join_returns_both_results() {
-        let (a, b) = super::join(|| 6 * 7, || "ok".to_string());
+        let (a, b) = join(|| 6 * 7, || "ok".to_string());
         assert_eq!(a, 42);
         assert_eq!(b, "ok");
     }
@@ -38,7 +542,180 @@ mod tests {
     #[test]
     fn join_runs_concurrently_enough_to_borrow() {
         let data = [1, 2, 3];
-        let (sum, len) = super::join(|| data.iter().sum::<i32>(), || data.len());
+        let (sum, len) = join(|| data.iter().sum::<i32>(), || data.len());
         assert_eq!((sum, len), (6, 3));
+    }
+
+    /// Recursive nested joins on a real pool: parallel sum of 0..4096.
+    #[test]
+    fn nested_joins_on_pool() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        let expected: u64 = (0..4096).sum();
+        for threads in [1, 2, 4] {
+            assert_eq!(pool(threads).install(|| sum(0, 4096)), expected);
+        }
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        for threads in [1, 4] {
+            let p = pool(threads);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.install(|| join(|| 1, || panic!("boom-b")))
+            }));
+            assert!(err.is_err(), "b's panic must propagate ({threads} threads)");
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.install(|| join(|| panic!("boom-a"), || 1))
+            }));
+            assert!(err.is_err(), "a's panic must propagate ({threads} threads)");
+            // The pool must still be usable afterwards.
+            assert_eq!(p.install(|| join(|| 2, || 3)), (2, 3));
+        }
+    }
+
+    #[test]
+    fn scope_completes_all_spawns_before_returning() {
+        for threads in [1, 4] {
+            let counter = AtomicUsize::new(0);
+            pool(threads).install(|| {
+                scope(|s| {
+                    for _ in 0..32 {
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 32, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn scope_spawn_can_spawn_nested_jobs() {
+        let counter = AtomicUsize::new(0);
+        pool(4).install(|| {
+            scope(|s| {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panic() {
+        let p = pool(4);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("spawned boom"));
+                });
+            })
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn par_iter_collect_preserves_order() {
+        let expected: Vec<u64> = (0..1000u64).map(|i| i * 2 + 1).collect();
+        for threads in [1, 2, 8] {
+            let got: Vec<u64> =
+                pool(threads).install(|| (0..1000u64).into_par_iter().map(|i| i * 2 + 1).collect());
+            assert_eq!(got, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_iter_over_slices() {
+        let data: Vec<i64> = (0..500).collect();
+        let doubled: Vec<i64> = pool(4).install(|| data.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_builds_scratch_per_chunk_not_per_item() {
+        let inits = AtomicUsize::new(0);
+        let got: Vec<usize> = pool(4).install(|| {
+            (0..256usize)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        Vec::<usize>::new()
+                    },
+                    |scratch, i| {
+                        scratch.push(i);
+                        i
+                    },
+                )
+                .collect()
+        });
+        assert_eq!(got, (0..256).collect::<Vec<_>>());
+        let init_count = inits.load(Ordering::Relaxed);
+        assert!(
+            init_count < 256,
+            "scratch must be per-chunk, got {init_count} inits for 256 items"
+        );
+    }
+
+    #[test]
+    fn pool_actually_uses_multiple_threads() {
+        let p = pool(4);
+        let ids = Mutex::new(HashSet::<ThreadId>::new());
+        p.install(|| {
+            (0..512usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // A little work so chunks overlap in time and get stolen.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            });
+        });
+        // The caller helps plus up to 4 workers; on any host this should
+        // exceed one distinct thread.
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected work on more than one thread"
+        );
+    }
+
+    #[test]
+    fn sequential_pool_spawns_no_workers() {
+        let p = pool(1);
+        assert_eq!(p.current_num_threads(), 1);
+        let before = std::thread::current().id();
+        let (ra, rb) = p.install(|| {
+            join(
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            )
+        });
+        assert_eq!(ra, before);
+        assert_eq!(rb, before);
+    }
+
+    #[test]
+    fn current_num_threads_reflects_installed_pool() {
+        assert_eq!(pool(3).install(current_num_threads), 3);
+        assert_eq!(pool(1).install(current_num_threads), 1);
+    }
+
+    #[test]
+    fn env_override_parsing() {
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 8 "), Some(8));
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count(""), None);
+        assert_eq!(parse_thread_count("lots"), None);
     }
 }

@@ -1,0 +1,343 @@
+//! The work-stealing runtime behind the `rayon` shim: worker threads,
+//! per-worker deques, the global/injector queue and the latches that let
+//! callers wait for stolen work.
+//!
+//! The design is a compact version of real rayon's registry:
+//!
+//! * every worker owns one deque ([`CachePadded`] so neighbouring workers
+//!   never share a cache line). Owners push and pop at the **back** (LIFO,
+//!   good locality for recursive joins); thieves steal from the **front**
+//!   (FIFO, steals the largest remaining subtree);
+//! * threads that are not pool workers submit through a shared injector
+//!   queue, which workers poll between steals;
+//! * a waiting *worker* never blocks: while its latch is unset it keeps
+//!   popping/stealing and executing other jobs (the "help while waiting"
+//!   rule that makes nested `join` deadlock-free). A waiting *external*
+//!   thread parks on the latch's condvar;
+//! * idle workers park on a registry-wide condvar and are woken whenever
+//!   work is pushed.
+
+use crossbeam::utils::CachePadded;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A type-erased pointer to a job living on some caller's stack (or, for
+/// scope spawns, on the heap). The pointee is guaranteed to outlive the
+/// job's execution by the latch protocol: whoever created the job waits
+/// for its latch before releasing the storage.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Jobs are sent to other workers by design; the latch protocol supplies
+// the synchronization the raw pointer cannot express.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    pub(crate) unsafe fn new(data: *const (), execute_fn: unsafe fn(*const ())) -> JobRef {
+        JobRef { data, execute_fn }
+    }
+
+    /// The job's identity, used by `join` to recognize its own un-stolen
+    /// job when popping the deque back.
+    pub(crate) fn id(&self) -> *const () {
+        self.data
+    }
+
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// A set-once flag a caller can wait on. Workers poll [`probe`] from
+/// their help loop; external threads block on the condvar.
+pub(crate) struct Latch {
+    set: AtomicBool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            set: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        // Lock before notifying so a waiter cannot check the flag, decide
+        // to sleep, and miss the notification in between.
+        let _guard = self.lock.lock().unwrap();
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the latch is set (external, non-worker threads).
+    pub(crate) fn wait_blocking(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while !self.probe() {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+
+    /// Parks for at most `timeout` or until the latch is set — the help
+    /// loop's fallback when there is nothing to steal.
+    fn wait_timeout(&self, timeout: Duration) {
+        let guard = self.lock.lock().unwrap();
+        if !self.probe() {
+            let _ = self.cond.wait_timeout(guard, timeout).unwrap();
+        }
+    }
+}
+
+/// A job whose closure and result live on the *caller's* stack — the
+/// zero-allocation vehicle behind [`join`](crate::join). The caller must
+/// wait for the latch before the `StackJob` goes out of scope, panics
+/// included.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    pub(crate) latch: Latch,
+}
+
+// The raw-pointer hand-off shares the job across threads; the latch
+// orders every access (write happens-before set, read happens-after
+// probe/wait).
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self as *const Self as *const (), Self::execute)
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let this = &*(data as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+
+    /// Takes the result after the latch was observed set.
+    pub(crate) unsafe fn take_result(&self) -> std::thread::Result<R> {
+        debug_assert!(self.latch.probe());
+        (*self.result.get()).take().expect("job result missing")
+    }
+}
+
+/// A heap-allocated fire-and-forget job ([`Scope::spawn`](crate::Scope)
+/// and [`spawn`](crate::spawn)); completion accounting is the closure's
+/// own business.
+pub(crate) struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    /// Boxes `func` and leaks it into a [`JobRef`]; `execute` reclaims
+    /// the box. The caller guarantees (via scope accounting) that the job
+    /// runs exactly once.
+    pub(crate) fn into_job_ref(func: Box<dyn FnOnce() + Send>) -> JobRef {
+        let job = Box::new(HeapJob { func });
+        unsafe { JobRef::new(Box::into_raw(job) as *const (), Self::execute) }
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let job = Box::from_raw(data as *mut HeapJob);
+        (job.func)();
+    }
+}
+
+/// How long a help loop parks on an unset latch when there is nothing to
+/// steal. Short enough to notice newly stealable work promptly, long
+/// enough not to spin.
+const HELP_PARK: Duration = Duration::from_micros(500);
+
+/// How long an idle worker parks between queue checks (a backstop — every
+/// push also notifies the idle condvar).
+const IDLE_PARK: Duration = Duration::from_millis(10);
+
+/// The shared state of one thread pool.
+pub(crate) struct Registry {
+    /// One deque per worker. Owner pushes/pops at the back, thieves pop
+    /// from the front.
+    deques: Vec<CachePadded<Mutex<VecDeque<JobRef>>>>,
+    /// Submissions from threads outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Idle-worker parking lot.
+    idle_lock: Mutex<()>,
+    idle_cond: Condvar,
+    /// Number of workers currently parked (pushes skip the notify when 0).
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    /// Set on pool worker threads: the worker's registry and index. The
+    /// raw pointer is only dereferenced on the worker thread itself,
+    /// which holds an `Arc` keeping the registry alive.
+    static WORKER: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+}
+
+/// The current thread's worker identity, if it is a pool worker.
+pub(crate) fn current_worker() -> Option<(*const Registry, usize)> {
+    WORKER.with(|w| w.get())
+}
+
+impl Registry {
+    /// Spawns `num_threads` workers and returns the shared registry with
+    /// their join handles.
+    pub(crate) fn start(num_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        assert!(num_threads >= 1, "a pool needs at least one worker");
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads)
+                .map(|_| CachePadded::new(Mutex::new(VecDeque::new())))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle_lock: Mutex::new(()),
+            idle_cond: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..num_threads)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Pushes onto worker `index`'s own deque (called from that worker).
+    pub(crate) fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap().push_back(job);
+        self.notify_one();
+    }
+
+    /// Submits a job from outside the pool.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify_one();
+    }
+
+    /// Pops the back of worker `index`'s own deque.
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].lock().unwrap().pop_back()
+    }
+
+    /// Pops the back of worker `index`'s deque only if it is the job with
+    /// identity `id` — `join`'s "was my second closure stolen?" check.
+    pub(crate) fn pop_local_if(&self, index: usize, id: *const ()) -> Option<JobRef> {
+        let mut deque = self.deques[index].lock().unwrap();
+        if deque.back().is_some_and(|job| job.id() == id) {
+            deque.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// Finds work for `thief`: its own deque first, then the injector,
+    /// then the other workers' deque fronts (round-robin from the right
+    /// neighbour so thieves spread out).
+    pub(crate) fn find_work(&self, thief: usize) -> Option<JobRef> {
+        if let Some(job) = self.pop_local(thief) {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.num_threads();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        !self.injector.lock().unwrap().is_empty()
+            || self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+    }
+
+    fn notify_one(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.idle_lock.lock().unwrap();
+            self.idle_cond.notify_one();
+        }
+    }
+
+    fn notify_all(&self) {
+        let _guard = self.idle_lock.lock().unwrap();
+        self.idle_cond.notify_all();
+    }
+
+    /// Worker-side wait: execute other jobs until `latch` is set. Never
+    /// blocks for long, so a pool full of waiting joins still progresses.
+    pub(crate) fn wait_until(&self, index: usize, latch: &Latch) {
+        while !latch.probe() {
+            match self.find_work(index) {
+                Some(job) => unsafe { job.execute() },
+                None => latch.wait_timeout(HELP_PARK),
+            }
+        }
+    }
+
+    /// Tells the workers to exit once the queues drain and wakes them.
+    pub(crate) fn terminate(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.notify_all();
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), index))));
+    loop {
+        if let Some(job) = registry.find_work(index) {
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Park until new work is pushed (or the timeout backstop fires).
+        registry.sleepers.fetch_add(1, Ordering::Relaxed);
+        let guard = registry.idle_lock.lock().unwrap();
+        if !registry.has_work() && !registry.shutdown.load(Ordering::Acquire) {
+            let _ = registry.idle_cond.wait_timeout(guard, IDLE_PARK).unwrap();
+        }
+        registry.sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+    WORKER.with(|w| w.set(None));
+}
