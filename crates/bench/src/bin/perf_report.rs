@@ -32,6 +32,17 @@
 //! With `--baseline <file>` (a previous report), every workload also gets
 //! `baseline_ms` and `speedup` fields so regressions/improvements are
 //! visible from the committed JSON alone.
+//!
+//! Observability (`--features obs`): the report carries a per-workload
+//! `"metrics"` section — the `mocp_obs` registry snapshot taken after
+//! that workload's runs (counters reset at workload start) — and the
+//! header records provenance (`git_revision`, `thread_counts`, `obs`)
+//! so BENCH_*.json files are self-describing. `--metrics` additionally
+//! dumps each snapshot as a human-readable table on stderr, and
+//! `--trace out.json` writes a Chrome trace of the sweep spans. Both
+//! flags work without the feature (empty metrics, empty trace); quick
+//! mode measures pool sizes 1 and 2 so the pool counters are exercised
+//! (the headline numbers stay the 1-thread entry).
 
 use experiments::scenario::{run_scenario, Scenario};
 use experiments::SweepConfig;
@@ -52,6 +63,10 @@ struct Measurement {
     /// What the workload consists of, for human readers of the JSON.
     detail: String,
     per_thread: Vec<(usize, Vec<f64>)>,
+    /// Pre-rendered JSON object with the workload's `mocp_obs` registry
+    /// snapshot (totals over every repeat at every pool size); `None`
+    /// without the `obs` feature.
+    metrics: Option<String>,
 }
 
 fn min_of(samples: &[f64]) -> f64 {
@@ -88,8 +103,11 @@ fn time_workload<R>(
     detail: String,
     repeats: usize,
     pools: &[(usize, rayon::ThreadPool)],
+    show_metrics: bool,
     mut work: impl FnMut() -> R + Send,
 ) -> Measurement {
+    // Scope the metric snapshot to this workload (a no-op without obs).
+    mocp_obs::reset_all();
     let mut per_thread = Vec::with_capacity(pools.len());
     for (threads, pool) in pools {
         let samples_ms = pool.install(|| {
@@ -110,10 +128,17 @@ fn time_workload<R>(
         );
         per_thread.push((*threads, samples_ms));
     }
+    let samples = mocp_obs::snapshot();
+    if show_metrics {
+        eprintln!("  {name} metrics:");
+        eprint!("{}", mocp_obs::render_table(&samples));
+    }
+    let metrics = mocp_obs::enabled().then(|| mocp_obs::render_json(&samples));
     Measurement {
         name,
         detail,
         per_thread,
+        metrics,
     }
 }
 
@@ -171,14 +196,37 @@ fn baseline_min_ms(report: &str, name: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
-fn render_report(mode: &str, measurements: &[Measurement], baseline: Option<&str>) -> String {
+/// The current git revision, for report provenance. Best-effort: reports
+/// must still be writable from an exported tree without git.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn render_report(
+    mode: &str,
+    thread_counts: &[usize],
+    measurements: &[Measurement],
+    baseline: Option<&str>,
+) -> String {
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mocp-perf-report/2\",\n");
+    out.push_str("  \"schema\": \"mocp-perf-report/3\",\n");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"units\": \"milliseconds\",\n");
     let _ = writeln!(out, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(out, "  \"git_revision\": \"{}\",", git_revision());
+    let counts: Vec<String> = thread_counts.iter().map(|n| n.to_string()).collect();
+    let _ = writeln!(out, "  \"thread_counts\": [{}],", counts.join(", "));
+    let _ = writeln!(out, "  \"obs\": {},", mocp_obs::enabled());
     out.push_str("  \"workloads\": {\n");
     for (i, m) in measurements.iter().enumerate() {
         let _ = writeln!(out, "    \"{}\": {{", m.name);
@@ -210,6 +258,12 @@ fn render_report(mode: &str, measurements: &[Measurement], baseline: Option<&str
                 base_ms / m.min_ms()
             );
         }
+        // The metrics object stays the last field: the baseline parser
+        // reads the first `"min":` after the workload name, so nothing
+        // snapshot-shaped may precede the headline numbers.
+        if let Some(metrics) = &m.metrics {
+            let _ = write!(out, ",\n      \"metrics\": {metrics}");
+        }
         out.push('\n');
         let _ = write!(
             out,
@@ -228,6 +282,7 @@ fn render_report(mode: &str, measurements: &[Measurement], baseline: Option<&str
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let show_metrics = args.iter().any(|a| a == "--metrics");
     let flag_value = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -243,14 +298,26 @@ fn main() {
         assert!(n > 0, "--threads takes a positive integer");
         n
     });
+    let trace_path = flag_value("--trace");
+    if (show_metrics || trace_path.is_some()) && !mocp_obs::enabled() {
+        eprintln!(
+            "note: built without the `obs` feature; --metrics/--trace emit empty output \
+             (rebuild with `--features obs`)"
+        );
+    }
+    if trace_path.is_some() {
+        mocp_obs::trace::start_capture();
+    }
 
     let mode = if quick { "quick" } else { "full" };
     let repeats = if quick { 1 } else { 3 };
     // Full runs sweep the pool size to produce the scaling table;
-    // `--threads` pins one count, and quick mode keeps the smoke cheap.
+    // `--threads` pins one count, and quick mode keeps the smoke cheap
+    // while still exercising a real 2-worker pool (the headline numbers
+    // stay the first — 1-thread — entry).
     let thread_counts: Vec<usize> = match pinned_threads {
         Some(n) => vec![n],
-        None if quick => vec![1],
+        None if quick => vec![1, 2],
         None => vec![1, 2, 4, 8],
     };
     let pools: Vec<(usize, rayon::ThreadPool)> = thread_counts
@@ -288,6 +355,7 @@ fn main() {
             format!("CMFP batch reconstruction at checkpoints {checkpoints:?} on a {side}x{side} mesh (clustered, seed 2004)"),
             repeats.max(3),
             &pools,
+            show_metrics,
             || batch_sweep(&mesh, &seq, &checkpoints),
         ));
     }
@@ -312,6 +380,7 @@ fn main() {
             ),
             repeats,
             &pools,
+            show_metrics,
             || incremental_stream(&mesh, &seq),
         ));
     }
@@ -341,6 +410,7 @@ fn main() {
             ),
             repeats,
             &pools,
+            show_metrics,
             || {
                 FaultDistribution::ALL.map(|dist| {
                     run_scenario(&registry, &Scenario::paper_figures(&config, dist))
@@ -372,6 +442,7 @@ fn main() {
             detail.to_string(),
             repeats,
             &pools,
+            show_metrics,
             || {
                 FaultDistribution::ALL.map(|dist| {
                     run_scenario(&registry, &scenario_for(dist)).expect("3-D models resolve")
@@ -380,7 +451,13 @@ fn main() {
         ));
     }
 
-    let report = render_report(mode, &measurements, baseline.as_deref());
+    if let Some(path) = &trace_path {
+        let events = mocp_obs::trace::write_chrome_trace(path)
+            .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+        eprintln!("wrote {path} ({events} trace events)");
+    }
+
+    let report = render_report(mode, &thread_counts, &measurements, baseline.as_deref());
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
     print!("{report}");

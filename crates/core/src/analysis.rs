@@ -221,6 +221,10 @@ fn construct_concave_fused(mesh: &Mesh2D, faults: &FaultSet) -> ModelOutcome {
     bits.for_each_component_with(Connectivity::Eight, &mut scratch, |view| {
         let key = view.min_coord_x_major();
         let (iterations, added) = view.hull_fixpoint();
+        mocp_obs::counter!("construct.components").inc();
+        mocp_obs::counter!("construct.fixpoint_rounds").add(iterations as u64);
+        mocp_obs::counter!("construct.nodes_added").add(added);
+        mocp_obs::histogram!("construct.rounds_per_component").record(iterations as u64);
         rounds = rounds.in_parallel_with(RoundStats {
             rounds: iterations,
             events: added,

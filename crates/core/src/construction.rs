@@ -102,6 +102,10 @@ pub(crate) fn concave_polygon_with(
     let (iterations, added) = scratch.grid.hull_fixpoint(&mut scratch.bits);
     let polygon = scratch.grid.to_region();
     debug_assert_eq!(polygon.len(), cell_count + added as usize);
+    mocp_obs::counter!("construct.components").inc();
+    mocp_obs::counter!("construct.fixpoint_rounds").add(iterations as u64);
+    mocp_obs::counter!("construct.nodes_added").add(added);
+    mocp_obs::histogram!("construct.rounds_per_component").record(iterations as u64);
     ComponentPolygon {
         polygon,
         rounds: RoundStats {
@@ -150,6 +154,8 @@ pub fn construct_component_with(
     match solution {
         CentralizedSolution::VirtualBlock => {
             let sol = VirtualBlockSolver.solve(mesh, component);
+            mocp_obs::counter!("construct.components").inc();
+            mocp_obs::counter!("construct.labelling_rounds").add(sol.rounds.rounds as u64);
             ComponentPolygon {
                 polygon: sol.polygon,
                 rounds: sol.rounds,

@@ -82,6 +82,7 @@ pub fn run_local_rule_with_limit<A: LocalRuleAutomaton>(
             states[c] = s;
         }
     }
+    crate::stats::export_local_rule(&stats);
     (states, stats)
 }
 

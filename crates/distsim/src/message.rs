@@ -131,10 +131,12 @@ impl<'m, A: MessageAutomaton> MessageEngine<'m, A> {
         while self.stats.rounds < max_rounds {
             if !self.step() {
                 self.stats.converged = true;
+                crate::stats::export_message(&self.stats);
                 return self.stats;
             }
         }
         self.stats.converged = self.in_flight.is_empty();
+        crate::stats::export_message(&self.stats);
         self.stats
     }
 

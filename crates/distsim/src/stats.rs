@@ -1,4 +1,14 @@
 //! Round and message accounting.
+//!
+//! [`RoundStats`] is the *per-execution* result value (it is what the
+//! sweeps serialize and what Figure 11 plots), so it stays. What this
+//! module no longer does is keep its own process-wide totals: those now
+//! live in the shared [`mocp_obs`] registry, exported by the engines
+//! through the crate-private `export_local_rule` / `export_message`
+//! helpers below under the
+//! `distsim.local_rule.*` and `distsim.message.*` names. The engines'
+//! public accessors (`MessageEngine::stats`, the returned `RoundStats`)
+//! are thin wrappers over that same accounting.
 
 use serde::{Deserialize, Serialize};
 use std::ops::Add;
@@ -50,6 +60,30 @@ impl RoundStats {
             events: self.events + other.events,
             converged: self.converged && other.converged,
         }
+    }
+}
+
+/// Exports one local-rule engine execution into the global metric
+/// registry (`distsim.local_rule.*`).
+pub(crate) fn export_local_rule(stats: &RoundStats) {
+    mocp_obs::counter!("distsim.local_rule.runs").inc();
+    mocp_obs::counter!("distsim.local_rule.rounds").add(stats.rounds as u64);
+    mocp_obs::counter!("distsim.local_rule.events").add(stats.events);
+    mocp_obs::histogram!("distsim.local_rule.rounds_per_run").record(stats.rounds as u64);
+    if !stats.converged {
+        mocp_obs::counter!("distsim.local_rule.round_limit_hits").inc();
+    }
+}
+
+/// Exports one message-engine execution into the global metric registry
+/// (`distsim.message.*`).
+pub(crate) fn export_message(stats: &RoundStats) {
+    mocp_obs::counter!("distsim.message.runs").inc();
+    mocp_obs::counter!("distsim.message.rounds").add(stats.rounds as u64);
+    mocp_obs::counter!("distsim.message.events").add(stats.events);
+    mocp_obs::histogram!("distsim.message.rounds_per_run").record(stats.rounds as u64);
+    if !stats.converged {
+        mocp_obs::counter!("distsim.message.round_limit_hits").inc();
     }
 }
 

@@ -31,7 +31,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: paper_figures [--dim 2|3] [--quick] [--trials N] [--threads N] [--csv] \
          [--streaming] [--models A,B,..] [--distribution random|clustered] [--list-models] \
+         [--metrics] [--trace FILE] \
          <fig9a|fig9b|fig10a|fig10b|fig11a|fig11b|all>...\n\
+         --metrics dumps the mocp_obs registry after the sweeps (stderr);\n\
+         --trace FILE writes a Chrome trace of the sweep spans. Both need\n\
+         a build with `--features obs` to produce non-empty output.\n\
          --threads pins the worker-pool size (overriding RAYON_NUM_THREADS);\n\
          1 disables the pool entirely. Output is identical at any thread count.\n\
          figures suffixed 'a' use the random distribution, 'b' the clustered one;\n\
@@ -49,6 +53,24 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Emits the end-of-run observability output: the trace file (when
+/// `--trace` was given) and the metric table (when `--metrics` was).
+fn finish_obs(show_metrics: bool, trace_path: Option<&str>) {
+    if let Some(path) = trace_path {
+        match mocp_obs::trace::write_chrome_trace(path) {
+            Ok(events) => eprintln!("wrote {path} ({events} trace events)"),
+            Err(e) => {
+                eprintln!("error: cannot write trace {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if show_metrics {
+        eprintln!("metrics:");
+        eprint!("{}", mocp_obs::render_table(&mocp_obs::snapshot()));
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut csv = false;
@@ -58,6 +80,8 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut models: Option<Vec<String>> = None;
     let mut only_distribution: Option<FaultDistribution> = None;
+    let mut show_metrics = false;
+    let mut trace_path: Option<String> = None;
     let mut figures: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -93,6 +117,10 @@ fn main() {
                 only_distribution =
                     Some(FaultDistribution::from_label(&label).unwrap_or_else(|| usage()));
             }
+            "--metrics" => show_metrics = true,
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--list-models" => {
                 println!("registered fault models (mocp_core::standard_registry):");
                 for (name, description) in mocp_core::standard_registry().descriptions() {
@@ -111,6 +139,16 @@ fn main() {
     }
     if figures.is_empty() {
         figures.push("all".to_string());
+    }
+
+    if (show_metrics || trace_path.is_some()) && !mocp_obs::enabled() {
+        eprintln!(
+            "note: built without the `obs` feature; --metrics/--trace emit empty output \
+             (rebuild with `--features obs`)"
+        );
+    }
+    if trace_path.is_some() {
+        mocp_obs::trace::start_capture();
     }
 
     // Pin the global pool before any parallel work, overriding the
@@ -221,6 +259,7 @@ fn main() {
                 }
             }
         }
+        finish_obs(show_metrics, trace_path.as_deref());
         return;
     }
 
@@ -289,4 +328,5 @@ fn main() {
     if let Some(c) = &clustered {
         print_for(c, wants("fig9b"), wants("fig10b"), wants("fig11b"));
     }
+    finish_obs(show_metrics, trace_path.as_deref());
 }

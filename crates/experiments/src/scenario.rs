@@ -249,6 +249,7 @@ pub fn run_scenario<T: MeshTopology>(
         registry.build(name)?;
     }
 
+    let _span = mocp_obs::span!("sweep.scenario");
     let trials = scenario.trials.max(1);
     let trial_results: Vec<Vec<ScenarioPoint>> =
         run_trials(trials, |t| run_trial(registry, scenario, t));
@@ -303,9 +304,13 @@ fn run_trial<T: MeshTopology>(
         scenario.distribution,
         scenario.base_seed + trial as u64,
     );
+    let _span = mocp_obs::span!("sweep.trial");
     let mut points = Vec::with_capacity(scenario.fault_counts.len());
     for &count in &scenario.fault_counts {
-        injector.inject_up_to(count);
+        {
+            let _span = mocp_obs::span!("sweep.inject");
+            injector.inject_up_to(count);
+        }
         let faults = injector.faults();
         // The fault sequence is incremental across counts, so the counts
         // stay sequential — but at a fixed count the models are
@@ -316,7 +321,14 @@ fn run_trial<T: MeshTopology>(
             fault_count: count,
             metrics: models
                 .par_iter()
-                .map(|model| ModelPoint::from_outcome(&model.construct(&mesh, faults)))
+                .map(|model| {
+                    let outcome = {
+                        let _span = mocp_obs::span!("sweep.construct");
+                        model.construct(&mesh, faults)
+                    };
+                    let _span = mocp_obs::span!("sweep.analyze");
+                    ModelPoint::from_outcome(&outcome)
+                })
                 .collect(),
         });
     }

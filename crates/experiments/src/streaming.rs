@@ -128,6 +128,7 @@ pub fn run_scenario_streaming(scenario: &Scenario) -> StreamingResult {
 /// One seeded streaming pass: the same injector the batch trial would use,
 /// consumed as an event stream by one engine.
 fn run_streaming_trial(scenario: &Scenario, trial: u32) -> Vec<StreamingPoint> {
+    let _span = mocp_obs::span!("sweep.stream_trial");
     let mesh = Mesh2D::square(scenario.mesh_size);
     let mut injector = FaultInjector::new(
         mesh,

@@ -85,6 +85,11 @@ pub struct IncrementalEngine {
     /// next recompute of a component that has no buffer of its own yet —
     /// so merges and splits recycle instead of reallocating.
     spare_polygon: BitGrid,
+    /// Per-engine recorder for the `engine.delta_fanout` histogram:
+    /// buffered without atomics on the event path, merged into the
+    /// global registry on flush/drop. Cloning an engine starts an empty
+    /// recorder (buffered samples stay with the original).
+    delta_fanout: mocp_obs::LocalHistogram,
 }
 
 impl IncrementalEngine {
@@ -114,6 +119,9 @@ impl IncrementalEngine {
             scratch: ConstructionScratch::new(),
             touched: Vec::new(),
             spare_polygon: BitGrid::empty(),
+            delta_fanout: mocp_obs::LocalHistogram::new(mocp_obs::histogram!(
+                "engine.delta_fanout"
+            )),
         }
     }
 
@@ -222,10 +230,15 @@ impl IncrementalEngine {
     /// healthy node are no-ops that return an empty delta.
     pub fn apply(&mut self, event: FaultEvent) -> StatusDelta {
         self.stats.events += 1;
-        match event {
+        mocp_obs::counter!("engine.events").inc();
+        let delta = match event {
             FaultEvent::Inject(c) => self.inject(c),
             FaultEvent::Repair(c) => self.repair(c),
-        }
+        };
+        self.delta_fanout.record(delta.len() as u64);
+        mocp_obs::gauge!("engine.components").set(self.live as i64);
+        mocp_obs::gauge!("engine.disabled_nonfaulty").set(self.disabled as i64);
+        delta
     }
 
     /// Applies a whole event stream, concatenating the per-event deltas.
@@ -243,6 +256,7 @@ impl IncrementalEngine {
             return delta;
         }
         self.stats.injects += 1;
+        mocp_obs::counter!("engine.injects").inc();
         self.faults.insert(c);
 
         // Distinct components adjacent to the new fault. Adjacency is the
@@ -273,6 +287,7 @@ impl IncrementalEngine {
                 comp.cells.insert(c);
                 self.comp_id.set(c, only);
                 self.stats.cache_hits += 1;
+                mocp_obs::counter!("engine.cache_hits").inc();
                 self.refresh(c, &mut delta);
                 self.touched = touched;
                 return delta;
@@ -296,6 +311,7 @@ impl IncrementalEngine {
                 .expect("adjacent is non-empty");
             for &other in adjacent.iter().filter(|&&id| id != keep) {
                 self.stats.merges += 1;
+                mocp_obs::counter!("engine.merges").inc();
                 let absorbed = self.components[other as usize]
                     .take()
                     .expect("adjacent ids are live");
@@ -351,6 +367,7 @@ impl IncrementalEngine {
             return delta;
         }
         self.stats.repairs += 1;
+        mocp_obs::counter!("engine.repairs").inc();
         self.faults.remove(c);
 
         let id = *self.comp_id.get(c).expect("faults lie inside the mesh");
@@ -376,6 +393,7 @@ impl IncrementalEngine {
             // visited, as a word-scan flood over the component's bounding
             // box (the scalar decomposition remains the debug oracle). The
             // largest piece keeps the id (and so most labels).
+            mocp_obs::counter!("engine.refloods").inc();
             let piece_grids = self.scratch.flood_components(&comp.cells, comp.bbox);
             let mut pieces: Vec<Region> = piece_grids.iter().map(BitGrid::to_region).collect();
             debug_assert!(
@@ -385,6 +403,7 @@ impl IncrementalEngine {
             );
             if pieces.len() > 1 {
                 self.stats.splits += 1;
+                mocp_obs::counter!("engine.splits").inc();
             }
             let largest = pieces
                 .iter()
@@ -435,6 +454,7 @@ impl IncrementalEngine {
     /// installs the new polygon's coverage.
     fn recompute(&mut self, id: u32, touched: &mut Vec<Coord>) {
         self.stats.recomputes += 1;
+        mocp_obs::counter!("engine.recomputes").inc();
         let comp = self.components[id as usize]
             .as_mut()
             .expect("dirty ids are live");

@@ -803,13 +803,22 @@ impl BitGrid3 {
         let mut fill = vec![0u64; total];
         let mut aux = vec![0u64; total];
         let mut added = 0;
+        let mut rounds = 0u64;
         loop {
             let grown = self.fill_gaps_round(&mut fill, &mut aux);
             if grown == 0 {
                 break;
             }
             added += grown;
+            rounds += 1;
         }
+        // Each round rescans every dirty line of all three axes; the
+        // quiescent final pass is not counted (matching RoundStats).
+        mocp_obs::counter!("hull3d.hulls").inc();
+        mocp_obs::counter!("hull3d.fixpoint_rounds").add(rounds);
+        mocp_obs::counter!("hull3d.line_rescans").add(rounds * self.lines() as u64 * 3);
+        mocp_obs::counter!("hull3d.nodes_added").add(added);
+        mocp_obs::histogram!("hull3d.rounds_per_hull").record(rounds);
         added
     }
 

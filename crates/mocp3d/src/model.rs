@@ -80,6 +80,11 @@ fn merge_process(mesh: &Mesh3D, faults: &FaultSet3, name: &'static str, cuboid: 
         excluded = next;
     };
 
+    mocp_obs::counter!("merge3d.constructions").inc();
+    mocp_obs::counter!("merge3d.growth_rounds").add(growth_rounds as u64);
+    mocp_obs::counter!("merge3d.excluded_beyond_faults")
+        .add((excluded.len() - faults.len()) as u64);
+
     let mut status = Grid3::for_mesh(mesh, NodeStatus::Enabled);
     for region in &regions {
         for c in region.iter() {

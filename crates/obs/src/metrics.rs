@@ -1,0 +1,277 @@
+//! Live metric primitives: atomic counters, gauges and log-linear
+//! histograms, plus the thread-local histogram recorder.
+//!
+//! All of these are lock-free on the record path (relaxed atomics): a
+//! metric is a statistic, not a synchronization point, and the registry
+//! snapshots are taken at quiescent moments (between workloads, after a
+//! sweep) where relaxed counts are exact.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crate::report::HistogramSnapshot;
+
+/// A monotonically increasing `u64` counter.
+///
+/// Arithmetic is wrapping: after `u64::MAX` increments the counter rolls
+/// over to zero (the same contract as `fetch_add`). [`reset`] stores
+/// zero; concurrent increments racing with a reset land on either side
+/// of it, so reset only at quiescent points.
+///
+/// [`reset`]: Counter::reset
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter (metrics are normally created through the
+    /// registry, not directly).
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping on overflow).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Stores zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-writer-wins signed level (queue depths, component counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Stores zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Values below `SUB_COUNT` get one exact bucket each; every following
+/// power of two contributes `SUB_COUNT` buckets, up to `2^63..2^64`.
+const BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
+
+/// A log-linear (HDR-style) histogram over the full `u64` range.
+///
+/// The bucket layout is 16 exact buckets for values 0..16, then 16
+/// linear sub-buckets per power of two, so any value is recorded with
+/// relative error below 1/16 (6.25%) using a fixed 976-slot table — no
+/// allocation, no rebinning, and two relaxed `fetch_add`s plus one
+/// `leading_zeros` per record.
+///
+/// Recording is wait-free and concurrent; [`snapshot`] reads the buckets
+/// with relaxed loads, so take snapshots at quiescent points for exact
+/// totals.
+///
+/// [`snapshot`]: Histogram::snapshot
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    /// Exact running sum of recorded values (wrapping).
+    sum: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index holding `v`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < SUB_COUNT as u64 {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros();
+            let sub = ((v >> (exp - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+            SUB_COUNT + (exp - SUB_BITS) as usize * SUB_COUNT + sub
+        }
+    }
+
+    /// The smallest value mapping to bucket `index` — the value reported
+    /// for any sample in that bucket.
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        assert!(index < BUCKETS, "bucket index out of range");
+        if index < SUB_COUNT {
+            index as u64
+        } else {
+            let exp = SUB_BITS + ((index - SUB_COUNT) / SUB_COUNT) as u32;
+            let sub = ((index - SUB_COUNT) % SUB_COUNT) as u64;
+            (SUB_COUNT as u64 + sub) << (exp - SUB_BITS)
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds `count` occurrences of bucket `index` and `sum` to the exact
+    /// total — the merge primitive used by [`LocalHistogram::flush`].
+    fn merge_bucket(&self, index: usize, count: u64) {
+        self.buckets[index].fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Clears every bucket and the sum. Not atomic with respect to
+    /// concurrent recorders; reset at quiescent points.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// Digest of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return HistogramSnapshot::default();
+        }
+        let rank = |q: f64| -> u64 {
+            // 1-based rank of the q-quantile sample; walk the cumulative
+            // counts to the bucket containing it.
+            let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return Histogram::bucket_lower_bound(i);
+                }
+            }
+            unreachable!("rank exceeds total count")
+        };
+        let max_bucket = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        HistogramSnapshot {
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+            max: Histogram::bucket_lower_bound(max_bucket),
+        }
+    }
+}
+
+/// A thread-local, lock-free recorder that buffers into plain `u64`
+/// buckets and merges into its parent [`Histogram`] on [`flush`] (or
+/// drop). Use one per worker/engine when the record rate is high enough
+/// that even relaxed `fetch_add` contention matters.
+///
+/// [`flush`]: LocalHistogram::flush
+#[derive(Debug)]
+pub struct LocalHistogram {
+    target: &'static Histogram,
+    buckets: Vec<u64>,
+    sum: u64,
+}
+
+impl LocalHistogram {
+    /// A fresh empty recorder feeding `target`.
+    pub fn new(target: &'static Histogram) -> LocalHistogram {
+        LocalHistogram {
+            target,
+            buckets: vec![0; BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Buffers one value locally (no atomics).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_index(v)] += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Merges the buffered counts into the parent and clears the buffer.
+    pub fn flush(&mut self) {
+        for (index, count) in self.buckets.iter_mut().enumerate() {
+            if *count > 0 {
+                self.target.merge_bucket(index, *count);
+                *count = 0;
+            }
+        }
+        if self.sum > 0 {
+            self.target.sum.fetch_add(self.sum, Ordering::Relaxed);
+            self.sum = 0;
+        }
+    }
+}
+
+/// Cloning yields a fresh *empty* recorder for the same parent: buffered
+/// counts belong to the recorder that buffered them, and engines that
+/// derive `Clone` must not double-report on flush.
+impl Clone for LocalHistogram {
+    fn clone(&self) -> LocalHistogram {
+        LocalHistogram::new(self.target)
+    }
+}
+
+impl Drop for LocalHistogram {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}

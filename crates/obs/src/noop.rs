@@ -1,0 +1,119 @@
+//! No-op stubs: the crate's entire API surface as zero-sized types and
+//! `const fn`s that the optimizer erases. Compiled when the `enabled`
+//! feature is off, so instrumented call sites never need `cfg` guards of
+//! their own.
+
+use crate::report::{HistogramSnapshot, MetricSample};
+
+/// No-op stand-in for the live counter (the `enabled` feature is off).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reset(&self) {}
+}
+
+/// No-op stand-in for the live gauge (the `enabled` feature is off).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _v: i64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _delta: i64) {}
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> i64 {
+        0
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reset(&self) {}
+}
+
+/// No-op stand-in for the live histogram (the `enabled` feature is off).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reset(&self) {}
+}
+
+/// No-op stand-in for the thread-local recorder (the `enabled` feature
+/// is off).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalHistogram;
+
+impl LocalHistogram {
+    /// A stub recorder.
+    #[inline(always)]
+    pub fn new(_target: &'static Histogram) -> LocalHistogram {
+        LocalHistogram
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&mut self, _v: u64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn flush(&mut self) {}
+}
+
+/// No-op stand-in for the live span guard (the `enabled` feature is
+/// off). Construct via [`span!`](crate::span).
+#[must_use = "a span measures its own lifetime; bind it with `let _span = ...`"]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Span;
+
+/// Returns the shared stub counter; compiles to a constant.
+#[inline(always)]
+pub const fn counter(_name: &'static str) -> &'static Counter {
+    &Counter
+}
+
+/// Returns the shared stub gauge; compiles to a constant.
+#[inline(always)]
+pub const fn gauge(_name: &'static str) -> &'static Gauge {
+    &Gauge
+}
+
+/// Returns the shared stub histogram; compiles to a constant.
+#[inline(always)]
+pub const fn histogram(_name: &'static str) -> &'static Histogram {
+    &Histogram
+}
+
+/// Always empty without the `enabled` feature.
+#[inline(always)]
+pub fn snapshot() -> Vec<MetricSample> {
+    Vec::new()
+}
+
+/// Does nothing without the `enabled` feature.
+#[inline(always)]
+pub fn reset_all() {}

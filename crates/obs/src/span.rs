@@ -1,0 +1,45 @@
+//! Scoped span timing: a guard that measures its own lifetime, records
+//! the duration into a histogram, and (when trace capture is armed)
+//! emits a begin/end event pair.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::trace;
+
+/// A live span: created by [`span!`](crate::span), finished on drop.
+///
+/// On drop the elapsed wall time in microseconds is recorded into the
+/// span's histogram (named `<span name>.us`), and an end event is
+/// emitted if the begin was captured.
+#[must_use = "a span measures its own lifetime; bind it with `let _span = ...`"]
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    hist: &'static Histogram,
+    start: Instant,
+    traced: bool,
+}
+
+impl Span {
+    /// Starts a span. Call sites should use the [`span!`](crate::span)
+    /// macro, which registers and caches the histogram.
+    pub fn begin(name: &'static str, hist: &'static Histogram) -> Span {
+        Span {
+            name,
+            hist,
+            start: Instant::now(),
+            traced: trace::begin(name),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed_us = self.start.elapsed().as_micros() as u64;
+        self.hist.record(elapsed_us);
+        if self.traced {
+            trace::end(self.name);
+        }
+    }
+}

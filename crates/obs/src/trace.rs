@@ -1,0 +1,167 @@
+//! Chrome trace-event capture: an in-memory buffer of span begin/end
+//! events, serialized as `chrome://tracing` / Perfetto JSON.
+//!
+//! Capture is off by default; [`start_capture`] arms it process-wide.
+//! Spans check the armed flag with one relaxed load, so an un-armed
+//! process pays nothing beyond that. Only spans that observed the
+//! capture *armed at begin time* record an end event, and serialization
+//! keeps matched begin/end pairs only, so the emitted trace always
+//! balances even if capture starts or stops mid-span.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    End,
+}
+
+struct Event {
+    name: &'static str,
+    phase: Phase,
+    /// Microseconds since the capture started.
+    ts_us: u64,
+    /// Stable per-thread id (assigned on each thread's first event).
+    tid: u64,
+}
+
+#[derive(Default)]
+struct Buffer {
+    t0: Option<Instant>,
+    events: Vec<Event>,
+}
+
+static CAPTURING: AtomicBool = AtomicBool::new(false);
+
+fn buffer() -> &'static Mutex<Buffer> {
+    static BUFFER: OnceLock<Mutex<Buffer>> = OnceLock::new();
+    BUFFER.get_or_init(|| Mutex::new(Buffer::default()))
+}
+
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Arms capture: clears any previous buffer, zeroes the clock and starts
+/// recording span events.
+pub fn start_capture() {
+    let mut buf = buffer().lock().unwrap_or_else(|e| e.into_inner());
+    buf.events.clear();
+    buf.t0 = Some(Instant::now());
+    CAPTURING.store(true, Ordering::Release);
+}
+
+/// True while span events are being recorded.
+pub fn is_capturing() -> bool {
+    CAPTURING.load(Ordering::Relaxed)
+}
+
+/// Number of buffered events (begin + end).
+pub fn event_count() -> usize {
+    buffer()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .events
+        .len()
+}
+
+/// Records a span begin if capture is armed; the return value tells the
+/// span whether to record the matching end.
+pub(crate) fn begin(name: &'static str) -> bool {
+    if !is_capturing() {
+        return false;
+    }
+    push(name, Phase::Begin);
+    true
+}
+
+/// Records a span end (only called by spans whose begin was recorded).
+pub(crate) fn end(name: &'static str) {
+    push(name, Phase::End);
+}
+
+fn push(name: &'static str, phase: Phase) {
+    let tid = current_tid();
+    let mut buf = buffer().lock().unwrap_or_else(|e| e.into_inner());
+    let Some(t0) = buf.t0 else { return };
+    let ts_us = t0.elapsed().as_micros() as u64;
+    buf.events.push(Event {
+        name,
+        phase,
+        ts_us,
+        tid,
+    });
+}
+
+/// Marks which events form matched begin/end pairs. Per thread, ends pop
+/// the most recent unmatched begin (spans nest LIFO within a thread);
+/// unmatched events — a begin still open, or an end whose begin predates
+/// the capture — are dropped so the output always balances.
+fn matched(events: &[Event]) -> Vec<bool> {
+    use std::collections::HashMap;
+    let mut keep = vec![false; events.len()];
+    let mut open: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, event) in events.iter().enumerate() {
+        match event.phase {
+            Phase::Begin => open.entry(event.tid).or_default().push(i),
+            Phase::End => {
+                if let Some(j) = open.get_mut(&event.tid).and_then(|stack| stack.pop()) {
+                    keep[i] = true;
+                    keep[j] = true;
+                }
+            }
+        }
+    }
+    keep
+}
+
+/// Stops capture, drains the buffer and returns the trace as Chrome
+/// trace-event JSON (`{"traceEvents": [...]}`). Only matched begin/end
+/// pairs are emitted.
+pub fn to_chrome_json() -> String {
+    CAPTURING.store(false, Ordering::Release);
+    let events = {
+        let mut buf = buffer().lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut buf.events)
+    };
+    let keep = matched(&events);
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    for (event, keep) in events.iter().zip(&keep) {
+        if !keep {
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let phase = match event.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+        };
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"cat\": \"mocp\", \"ph\": \"{phase}\", \"ts\": {}, \"pid\": 1, \"tid\": {}}}",
+            event.name, event.ts_us, event.tid
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Stops capture and writes the trace JSON to `path`. Returns the number
+/// of events written. Open the file in `chrome://tracing` or
+/// [ui.perfetto.dev](https://ui.perfetto.dev).
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> io::Result<usize> {
+    let json = to_chrome_json();
+    let events = json.matches("\"ph\":").count();
+    std::fs::write(path, json)?;
+    Ok(events)
+}

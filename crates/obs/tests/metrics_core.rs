@@ -1,0 +1,209 @@
+//! Metrics-core coverage (runs with `--features enabled` only; see
+//! `required-features` in Cargo.toml): cross-thread histogram merge
+//! equivalence, log-linear bucket boundaries, and counter
+//! overflow/reset semantics.
+//!
+//! Tests in this binary run concurrently, so each uses its own metric
+//! names and none calls `reset_all` (that lives in a separate test
+//! binary, i.e. a separate process).
+
+use mocp_obs::{Histogram, LocalHistogram};
+
+/// Deterministic pseudo-random stream (splitmix64) so the concurrent
+/// and sequential recorders see the same multiset of values.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Values spread over many octaves (0..2^48) to hit both the linear and
+/// log-linear bucket ranges.
+fn stream(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            let octave = splitmix64(&mut state) % 48;
+            splitmix64(&mut state) >> (16 + octave)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_local_recorders_match_sequential_reference() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: usize = 10_000;
+
+    let concurrent = mocp_obs::histogram("test.merge.concurrent");
+    let reference = mocp_obs::histogram("test.merge.reference");
+
+    std::thread::scope(|scope| {
+        for seed in 0..THREADS {
+            scope.spawn(move || {
+                let mut local = LocalHistogram::new(concurrent);
+                for v in stream(seed, PER_THREAD) {
+                    local.record(v);
+                }
+                // Dropping `local` flushes the buffered buckets.
+            });
+        }
+    });
+    for seed in 0..THREADS {
+        for v in stream(seed, PER_THREAD) {
+            reference.record(v);
+        }
+    }
+
+    let got = concurrent.snapshot();
+    let want = reference.snapshot();
+    assert_eq!(
+        got, want,
+        "merged concurrent recorders must equal the sequential reference"
+    );
+    assert_eq!(got.count, THREADS * PER_THREAD as u64);
+    assert!(got.sum > 0);
+}
+
+#[test]
+fn explicit_flush_merges_and_clears() {
+    let target = mocp_obs::histogram("test.merge.flush");
+    let mut local = LocalHistogram::new(target);
+    local.record(7);
+    local.record(7000);
+    assert_eq!(target.snapshot().count, 0, "nothing visible before flush");
+    local.flush();
+    assert_eq!(target.snapshot().count, 2);
+    local.flush();
+    assert_eq!(
+        target.snapshot().count,
+        2,
+        "second flush must not double-report"
+    );
+    // Clone starts empty: dropping it must not re-flush the original's data.
+    let clone = local.clone();
+    drop(clone);
+    assert_eq!(target.snapshot().count, 2);
+}
+
+#[test]
+fn bucket_boundaries_are_tight_and_monotonic() {
+    // Values below 16 get exact buckets.
+    for v in 0..16u64 {
+        let idx = Histogram::bucket_index(v);
+        assert_eq!(idx, v as usize);
+        assert_eq!(Histogram::bucket_lower_bound(idx), v);
+    }
+    // Boundary cases around powers of two and the extremes.
+    let cases = [
+        15,
+        16,
+        17,
+        31,
+        32,
+        33,
+        63,
+        64,
+        65,
+        127,
+        128,
+        129,
+        1023,
+        1024,
+        1025,
+        (1 << 32) - 1,
+        1 << 32,
+        (1 << 32) + 1,
+        u64::MAX - 1,
+        u64::MAX,
+    ];
+    for &v in &cases {
+        let idx = Histogram::bucket_index(v);
+        let lower = Histogram::bucket_lower_bound(idx);
+        assert!(lower <= v, "lower bound {lower} must not exceed value {v}");
+        // Relative error stays below one sub-bucket: 1/16 of the value.
+        assert!(
+            v - lower <= v / 16,
+            "bucket too wide for {v}: lower {lower}"
+        );
+    }
+    // Indices are monotone in the value.
+    let mut prev = 0;
+    for &v in &cases {
+        let idx = Histogram::bucket_index(v);
+        assert!(idx >= prev, "bucket index must not decrease ({v})");
+        prev = idx;
+    }
+}
+
+#[test]
+fn percentiles_come_from_bucket_lower_bounds() {
+    let hist = mocp_obs::histogram("test.percentiles");
+    // 100 values: 1..=100. Exact buckets below 16, log-linear above.
+    for v in 1..=100 {
+        hist.record(v);
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 100);
+    assert_eq!(snap.sum, 5050);
+    assert_eq!(
+        snap.p50,
+        Histogram::bucket_lower_bound(Histogram::bucket_index(50))
+    );
+    assert_eq!(
+        snap.p99,
+        Histogram::bucket_lower_bound(Histogram::bucket_index(99))
+    );
+    assert_eq!(
+        snap.max,
+        Histogram::bucket_lower_bound(Histogram::bucket_index(100))
+    );
+    assert!((snap.mean() - 50.5).abs() < 1e-9);
+}
+
+#[test]
+fn counter_wraps_on_overflow_and_resets_to_zero() {
+    let counter = mocp_obs::counter("test.counter.overflow");
+    counter.add(u64::MAX);
+    assert_eq!(counter.get(), u64::MAX);
+    counter.inc();
+    assert_eq!(counter.get(), 0, "increments wrap at u64::MAX");
+    counter.add(41);
+    counter.inc();
+    assert_eq!(counter.get(), 42);
+    counter.reset();
+    assert_eq!(counter.get(), 0);
+}
+
+#[test]
+fn gauge_tracks_last_level() {
+    let gauge = mocp_obs::gauge("test.gauge.level");
+    gauge.set(7);
+    gauge.add(5);
+    gauge.add(-2);
+    assert_eq!(gauge.get(), 10);
+    gauge.reset();
+    assert_eq!(gauge.get(), 0);
+}
+
+#[test]
+fn registry_returns_same_instance_and_snapshot_is_sorted() {
+    let a = mocp_obs::counter("test.registry.same");
+    let b = mocp_obs::counter("test.registry.same");
+    a.inc();
+    b.inc();
+    assert_eq!(a.get(), 2, "same name must resolve to the same counter");
+    let names: Vec<_> = mocp_obs::snapshot().iter().map(|s| s.name).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "snapshot must be name-sorted");
+    assert!(names.contains(&"test.registry.same"));
+}
+
+#[test]
+#[should_panic(expected = "registered as a counter")]
+fn registry_rejects_kind_mismatch() {
+    let _ = mocp_obs::counter("test.registry.kind");
+    let _ = mocp_obs::gauge("test.registry.kind");
+}

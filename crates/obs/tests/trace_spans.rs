@@ -1,0 +1,82 @@
+//! Span + trace capture, isolated in its own test binary because
+//! capture state is process-global.
+
+/// Capture is process-global, so the two tests must not overlap even
+/// under the default multi-threaded test runner.
+static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn count_phase(json: &str, phase: char) -> usize {
+    json.matches(&format!("\"ph\": \"{phase}\"")).count()
+}
+
+#[test]
+fn spans_emit_balanced_pairs_and_feed_histograms() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // A span begun before capture is armed must not contribute an
+    // unmatched end event.
+    let early = mocp_obs::span!("trace.early");
+    mocp_obs::trace::start_capture();
+    assert!(mocp_obs::trace::is_capturing());
+    drop(early);
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                let _outer = mocp_obs::span!("trace.outer");
+                for _ in 0..3 {
+                    let _inner = mocp_obs::span!("trace.inner");
+                }
+            });
+        }
+    });
+    // A span still open at serialization time: its begin must be
+    // dropped, not emitted unmatched.
+    let open = mocp_obs::span!("trace.open");
+    assert!(mocp_obs::trace::event_count() > 0);
+
+    let json = mocp_obs::trace::to_chrome_json();
+    drop(open);
+    assert!(
+        !mocp_obs::trace::is_capturing(),
+        "serialization stops capture"
+    );
+
+    let begins = count_phase(&json, 'B');
+    let ends = count_phase(&json, 'E');
+    assert_eq!(begins, ends, "emitted trace must balance");
+    // 2 threads x (1 outer + 3 inner) = 8 matched pairs; the early and
+    // open spans are excluded.
+    assert_eq!(begins, 8);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"name\": \"trace.inner\""));
+    assert!(!json.contains("trace.early"));
+    assert!(!json.contains("trace.open"));
+
+    // Span durations land in the <name>.us histogram.
+    let samples = mocp_obs::snapshot();
+    let inner_us = samples
+        .iter()
+        .find(|s| s.name == "trace.inner.us")
+        .expect("span histogram registered");
+    match inner_us.value {
+        mocp_obs::MetricValue::Histogram(h) => assert_eq!(h.count, 6),
+        ref other => panic!("expected histogram, got {other:?}"),
+    }
+}
+
+#[test]
+fn write_chrome_trace_produces_parseable_file() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = std::env::temp_dir().join("mocp_obs_trace_test.json");
+    mocp_obs::trace::start_capture();
+    {
+        let _span = mocp_obs::span!("trace.file");
+    }
+    let events = mocp_obs::trace::write_chrome_trace(&path).expect("trace written");
+    assert!(events >= 2, "at least one begin/end pair");
+    let body = std::fs::read_to_string(&path).expect("trace readable");
+    assert!(body.trim_start().starts_with('{'));
+    assert!(body.trim_end().ends_with('}'));
+    assert_eq!(count_phase(&body, 'B'), count_phase(&body, 'E'));
+    std::fs::remove_file(&path).ok();
+}

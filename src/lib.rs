@@ -29,4 +29,5 @@ pub use meshroute;
 pub use mocp_3d;
 pub use mocp_core;
 pub use mocp_incremental;
+pub use mocp_obs;
 pub use mocp_topology;

@@ -271,15 +271,20 @@ impl Registry {
     /// neighbour so thieves spread out).
     pub(crate) fn find_work(&self, thief: usize) -> Option<JobRef> {
         if let Some(job) = self.pop_local(thief) {
+            mocp_obs::counter!("pool.jobs_executed").inc();
             return Some(job);
         }
         if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            mocp_obs::counter!("pool.jobs_executed").inc();
+            mocp_obs::counter!("pool.injector_pops").inc();
             return Some(job);
         }
         let n = self.num_threads();
         for offset in 1..n {
             let victim = (thief + offset) % n;
             if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                mocp_obs::counter!("pool.jobs_executed").inc();
+                mocp_obs::counter!("pool.steals").inc();
                 return Some(job);
             }
         }
@@ -332,6 +337,7 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
             break;
         }
         // Park until new work is pushed (or the timeout backstop fires).
+        mocp_obs::counter!("pool.idle_parks").inc();
         registry.sleepers.fetch_add(1, Ordering::Relaxed);
         let guard = registry.idle_lock.lock().unwrap();
         if !registry.has_work() && !registry.shutdown.load(Ordering::Acquire) {
