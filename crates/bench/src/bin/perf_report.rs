@@ -9,7 +9,7 @@
 //!     --baseline old.json --out BENCH_6.json                     # with speedups
 //! ```
 //!
-//! Four workloads are timed, matching the repository's own definitions:
+//! Five workloads are timed, matching the repository's own definitions:
 //!
 //! * `batch_sweep_2d_100x800` — the batch arm of the
 //!   `incremental_vs_batch` bench: CMFP (concave sections) reconstructed
@@ -19,7 +19,14 @@
 //! * `paper_figures_2d` — the full Figure 9/10/11 scenario sweep (both
 //!   distributions, one trial) through `run_scenario`;
 //! * `paper_figures_3d` — the 3-D Figure 9/10 analogue sweep (32³ mesh,
-//!   both distributions).
+//!   both distributions);
+//! * `serve_ingest_1k_tenants` — the multi-tenant monitoring service
+//!   absorbing the deterministic 1000-tenants × 100-events workload with
+//!   concurrent point queries (`experiments::run_serve_workload`). The
+//!   service spawns its own threads, so this workload is timed once (not
+//!   per pool size); sustained events/sec is appended to its `detail`
+//!   and, with `--features obs`, the `serve.query.us` histogram
+//!   (p50/p90/p99 query latency) lands in its `metrics` section.
 //!
 //! In full mode every workload is measured at 1, 2, 4 and 8 pool
 //! threads (the per-count timings land in each workload's `scaling`
@@ -183,18 +190,7 @@ fn incremental_stream(mesh: &Mesh2D, seq: &[Coord]) -> (usize, f64) {
     (engine.disabled_nonfaulty(), engine.average_region_size())
 }
 
-/// Extracts `"min":<float>` for workload `name` from a previous report.
-/// The parser only understands files this binary wrote.
-fn baseline_min_ms(report: &str, name: &str) -> Option<f64> {
-    let at = report.find(&format!("\"{name}\""))?;
-    let rest = &report[at..];
-    let min_at = rest.find("\"min\":")? + "\"min\":".len();
-    let tail = rest[min_at..].trim_start();
-    let end = tail
-        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
-}
+use bench::baseline_min_ms;
 
 /// The current git revision, for report provenance. Best-effort: reports
 /// must still be writable from an exported tree without git.
@@ -288,7 +284,7 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_8.json".to_string());
     let baseline = flag_value("--baseline").map(|path| {
         std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
@@ -449,6 +445,62 @@ fn main() {
                 })
             },
         ));
+    }
+
+    // Workload 5: the multi-tenant service ingesting the deterministic
+    // N x M x K workload. The service owns its worker threads (no rayon),
+    // so only the first pool entry is used — the timing is identical at
+    // any pool size and repeating it would just burn CI minutes.
+    {
+        let (cfg, serve) = if quick {
+            (
+                experiments::ServeWorkloadConfig::quick(),
+                mocp_serve::ServeConfig::default().with_workers(2),
+            )
+        } else {
+            (
+                experiments::ServeWorkloadConfig::default(),
+                mocp_serve::ServeConfig::default().with_workers(4),
+            )
+        };
+        let best_eps = std::sync::atomic::AtomicU64::new(0);
+        let mut measurement = time_workload(
+            if quick {
+                "serve_ingest_quick"
+            } else {
+                "serve_ingest_1k_tenants"
+            },
+            format!(
+                "MonitorService: {} tenants x {} events (batch {}) x {} queries on {}x{} meshes, \
+                 {} ingest threads -> {} workers, seed {:#x}",
+                cfg.tenants,
+                cfg.events_per_tenant,
+                cfg.batch_size,
+                cfg.queries_per_tenant,
+                cfg.mesh_size,
+                cfg.mesh_size,
+                cfg.ingest_threads,
+                serve.workers,
+                cfg.seed
+            ),
+            repeats,
+            &pools[..1],
+            show_metrics,
+            || {
+                let start = Instant::now();
+                let outcome = experiments::run_serve_workload(&cfg, serve);
+                let eps = outcome.events_submitted as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                best_eps.fetch_max(eps as u64, std::sync::atomic::Ordering::Relaxed);
+                mocp_obs::gauge!("serve.ingest.events_per_sec").set(eps as i64);
+                outcome.events_submitted
+            },
+        );
+        let _ = write!(
+            measurement.detail,
+            "; sustained {} events/s (best run)",
+            best_eps.load(std::sync::atomic::Ordering::Relaxed)
+        );
+        measurements.push(measurement);
     }
 
     if let Some(path) = &trace_path {

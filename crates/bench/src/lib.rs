@@ -15,6 +15,23 @@ use experiments::SweepConfig;
 use faultgen::{generate_faults, FaultDistribution};
 use mesh2d::{FaultSet, Mesh2D};
 
+/// Extracts the headline `"min":<float>` for workload `name` from a
+/// perf_report JSON file. The parser only understands files the
+/// `perf_report` binary wrote: it relies on `"min"` being the first
+/// numeric field after the workload's name. Shared by the binary's
+/// `--baseline` comparison and by the test pinning the committed
+/// BENCH_*.json reports.
+pub fn baseline_min_ms(report: &str, name: &str) -> Option<f64> {
+    let at = report.find(&format!("\"{name}\""))?;
+    let rest = &report[at..];
+    let min_at = rest.find("\"min\":")? + "\"min\":".len();
+    let tail = rest[min_at..].trim_start();
+    let end = tail
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 /// The sweep configuration used by the `fig9` / `fig10` / `fig11` benches:
 /// the paper's 100×100 mesh at a light and a heavy fault load, one trial.
 pub fn figure_config() -> SweepConfig {
@@ -43,6 +60,20 @@ mod tests {
         assert_eq!(c.mesh_size, 100);
         assert_eq!(c.trials, 1);
         assert!(c.fault_counts.contains(&800));
+    }
+
+    #[test]
+    fn baseline_parser_reads_the_headline_min() {
+        let report = r#"{
+  "workloads": {
+    "alpha": {"detail": "d", "min": 1.250, "mean": 2.0,
+      "scaling": {"1": {"min": 0.5, "mean": 0.6}}},
+    "beta": {"min": -3.5}
+  }
+}"#;
+        assert_eq!(baseline_min_ms(report, "alpha"), Some(1.25));
+        assert_eq!(baseline_min_ms(report, "beta"), Some(-3.5));
+        assert_eq!(baseline_min_ms(report, "gamma"), None);
     }
 
     #[test]

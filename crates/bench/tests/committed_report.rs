@@ -1,0 +1,83 @@
+//! Pins the committed BENCH_8.json perf report: schema, workload set,
+//! and the `--baseline` comparison path.
+//!
+//! The harness's `--baseline` flag extracts headline numbers from a
+//! previous report with [`bench::baseline_min_ms`]; running that same
+//! parser against the committed report both validates the file and
+//! exercises the comparison exactly as `perf_report --baseline
+//! BENCH_8.json` would.
+
+use bench::baseline_min_ms;
+
+const FULL_WORKLOADS: [&str; 5] = [
+    "batch_sweep_2d_100x800",
+    "incremental_stream_512x20k",
+    "paper_figures_2d",
+    "paper_figures_3d",
+    "serve_ingest_1k_tenants",
+];
+
+fn committed_report() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    std::fs::read_to_string(path).expect("BENCH_8.json is committed at the repo root")
+}
+
+#[test]
+fn committed_report_uses_the_current_schema() {
+    let report = committed_report();
+    assert!(
+        report.contains("\"schema\": \"mocp-perf-report/3\""),
+        "BENCH_8.json must be regenerated with the current harness"
+    );
+    assert!(
+        report.contains("\"mode\": \"full\""),
+        "committed reports are full runs"
+    );
+}
+
+#[test]
+fn every_full_workload_is_usable_as_a_baseline() {
+    let report = committed_report();
+    for name in FULL_WORKLOADS {
+        let min = baseline_min_ms(&report, name)
+            .unwrap_or_else(|| panic!("workload {name} missing from BENCH_8.json"));
+        assert!(
+            min.is_finite() && min > 0.0,
+            "{name}: headline min must be a positive duration, got {min}"
+        );
+    }
+}
+
+#[test]
+fn committed_report_exercised_the_baseline_comparison() {
+    // BENCH_8.json was generated with `--baseline BENCH_6.json`, so the
+    // pre-existing workloads must carry comparison fields; the serve
+    // workload is new in this report and must not fabricate one.
+    let report = committed_report();
+    assert!(report.contains("\"baseline_min\""));
+    assert!(report.contains("\"speedup\""));
+    let serve_at = report
+        .find("\"serve_ingest_1k_tenants\"")
+        .expect("serve workload present");
+    assert!(
+        !report[serve_at..].contains("\"speedup\""),
+        "the serve workload had no baseline to compare against"
+    );
+}
+
+#[test]
+fn serve_workload_records_throughput_and_query_latency() {
+    let report = committed_report();
+    let serve = &report[report
+        .find("\"serve_ingest_1k_tenants\"")
+        .expect("serve workload present")..];
+    assert!(
+        serve.contains("events/s"),
+        "sustained events/sec belongs in the serve workload's detail"
+    );
+    assert!(
+        serve.contains("\"serve.query.us\""),
+        "query-latency histogram (p50/p99) belongs in the serve metrics"
+    );
+    assert!(serve.contains("\"serve.ingest.events_per_sec\""));
+}

@@ -1,0 +1,135 @@
+//! Drives the deterministic multi-tenant service workload.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin serve_workload
+//! cargo run --release -p experiments --bin serve_workload -- --quick --verify
+//! cargo run --release -p experiments --bin serve_workload -- \
+//!     --tenants 1000 --events 100 --queries 20 --ingest-threads 4 --workers 8
+//! cargo run --release -p experiments --bin serve_workload -- --metrics   # with --features obs
+//! ```
+//!
+//! The default shape is the acceptance workload: 1000 tenants × 100
+//! events (100k events total) with 20 concurrent point queries per
+//! tenant. `--verify` replays every tenant sequentially afterwards and
+//! fails the run on any divergence — the sequential-equivalence property
+//! checked from the command line.
+
+use std::time::Instant;
+
+use experiments::{run_serve_workload, ServeWorkloadConfig};
+use mocp_serve::ServeConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_workload [--quick] [--verify] [--tenants N] [--events M] [--queries K] \
+         [--mesh SIDE] [--batch B] [--seed S] [--ingest-threads N] [--workers N] [--metrics]\n\
+         Runs the seeded N-tenants x M-events x K-queries workload against a\n\
+         MonitorService and prints throughput plus the service counters.\n\
+         --quick shrinks the workload to CI size; --verify replays every tenant\n\
+         sequentially afterwards and exits non-zero on any divergence;\n\
+         --metrics dumps the mocp_obs registry (build with --features obs)."
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // --quick picks the small base shape; every other flag then
+    // overrides it, regardless of flag order.
+    let mut cfg = if raw.iter().any(|a| a == "--quick") {
+        ServeWorkloadConfig::quick()
+    } else {
+        ServeWorkloadConfig::default()
+    };
+    let mut workers: Option<usize> = None;
+    let mut show_metrics = false;
+
+    let mut args = raw.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {}
+            "--verify" => cfg.verify = true,
+            "--tenants" => cfg.tenants = parse(args.next()),
+            "--events" => cfg.events_per_tenant = parse(args.next()),
+            "--queries" => cfg.queries_per_tenant = parse(args.next()),
+            "--mesh" => cfg.mesh_size = parse(args.next()),
+            "--batch" => cfg.batch_size = parse(args.next()),
+            "--seed" => cfg.seed = parse(args.next()),
+            "--ingest-threads" => cfg.ingest_threads = parse(args.next()),
+            "--workers" => workers = Some(parse(args.next())),
+            "--metrics" => show_metrics = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if show_metrics && !mocp_obs::enabled() {
+        eprintln!(
+            "note: built without the `obs` feature; --metrics emits empty output \
+             (rebuild with `--features obs`)"
+        );
+    }
+
+    let mut serve = ServeConfig::default();
+    if let Some(w) = workers {
+        serve = serve.with_workers(w);
+    }
+
+    println!(
+        "serve_workload: {} tenants x {} events (batch {}) x {} queries, mesh {}x{} \
+         [{} ingest threads -> {} workers, seed {:#x}]",
+        cfg.tenants,
+        cfg.events_per_tenant,
+        cfg.batch_size,
+        cfg.queries_per_tenant,
+        cfg.mesh_size,
+        cfg.mesh_size,
+        cfg.ingest_threads,
+        serve.workers,
+        cfg.seed,
+    );
+    let start = Instant::now();
+    let outcome = run_serve_workload(&cfg, serve);
+    let elapsed = start.elapsed();
+
+    let events_per_sec = outcome.events_submitted as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "applied {} events across {} tenants in {:.3}s  ({:.0} events/s, {} queries answered)",
+        outcome.events_submitted,
+        outcome.tenants,
+        elapsed.as_secs_f64(),
+        events_per_sec,
+        outcome.queries_issued,
+    );
+    println!(
+        "service counters: batches={} events={} queries={} updates_sent={} updates_dropped={}",
+        outcome.stats.batches,
+        outcome.stats.events,
+        outcome.stats.queries,
+        outcome.stats.updates_sent,
+        outcome.stats.updates_dropped,
+    );
+    if cfg.verify {
+        if outcome.mismatched_tenants == 0 {
+            println!(
+                "verify: all {} tenants match sequential replay",
+                outcome.tenants
+            );
+        } else {
+            eprintln!(
+                "verify FAILED: {} of {} tenants diverged from sequential replay",
+                outcome.mismatched_tenants, outcome.tenants
+            );
+            std::process::exit(1);
+        }
+    }
+    if show_metrics {
+        eprintln!("metrics:");
+        eprint!("{}", mocp_obs::render_table(&mocp_obs::snapshot()));
+    }
+}

@@ -24,7 +24,13 @@
 //! engine, the per-figure series extractors ([`fig9`], [`fig10`],
 //! [`fig11`]) over [`ScenarioResult`], sweep sizing ([`sweep`]),
 //! plain-text/CSV rendering ([`table`]), and the `paper_figures` binary
-//! that prints any figure from the command line.
+//! that prints any figure from the command line. Beyond the paper's
+//! single-mesh evaluation, the [`serve_workload`] module generates the
+//! deterministic N-tenants × M-events × K-queries load (seeded
+//! inject/repair churn) that drives the multi-tenant monitoring
+//! service ([`mocp_serve`]) — from the `serve_workload` binary, the
+//! sequential-equivalence tests and the `serve_ingest_1k_tenants` perf
+//! workload.
 //! The Criterion benches in the `bench` crate reuse the same sweep code
 //! so the benchmarked work is exactly the reported work.
 
@@ -35,6 +41,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod scenario;
+pub mod serve_workload;
 pub mod streaming;
 pub mod sweep;
 pub mod table;
@@ -42,6 +49,10 @@ pub mod table;
 pub use scenario::{
     paper_model_names, paper_model_names_3d, run_scenario, Metric, Scenario, ScenarioPoint,
     ScenarioResult,
+};
+pub use serve_workload::{
+    replay_tenant, run_serve_workload, tenant_events, tenant_queries, ServeWorkloadConfig,
+    WorkloadOutcome,
 };
 pub use streaming::{run_scenario_streaming, StreamingPoint, StreamingResult};
 pub use sweep::{ModelPoint, SweepConfig};

@@ -168,6 +168,68 @@ impl IncrementalEngine {
         self.live
     }
 
+    /// The maintained status of node `c` — a point query answered from
+    /// engine state in O(1), no reconstruction. Equivalent to
+    /// `self.status().status(c)` and shares its contract.
+    ///
+    /// # Panics
+    /// Panics if `c` is outside the mesh (use
+    /// [`status()`](Self::status)`.get(c)` for a total lookup).
+    #[inline]
+    pub fn node_status(&self, c: Coord) -> NodeStatus {
+        self.status.status(c)
+    }
+
+    /// Number of faulty (black) nodes — the counterpart of
+    /// [`disabled_nonfaulty`](Self::disabled_nonfaulty), O(1) from the
+    /// maintained fault set.
+    #[inline]
+    pub fn faulty_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The cached minimum polygon containing node `c`, if any — the
+    /// region-membership point query.
+    ///
+    /// A faulty node returns the polygon of the component that *owns*
+    /// it: one comp-id grid lookup plus copying the cached polygon out
+    /// (O(answer)) — even when another component's larger hull happens
+    /// to overlap it. For a non-faulty node the maintained cover count
+    /// answers *whether* `c` lies in a polygon in O(1); when it does,
+    /// the live components are scanned (bounding-box pre-filter, then
+    /// the word-packed polygon bitmap) and overlaps resolve to the first
+    /// covering polygon in [`polygons`](Self::polygons) order. The
+    /// result is always an element of that snapshot. Out-of-mesh and
+    /// enabled nodes return `None`. Nothing is reconstructed: every
+    /// lookup reads maintained state only.
+    pub fn region_of(&self, c: Coord) -> Option<Region> {
+        if self.faults.is_faulty(c) {
+            let id = *self.comp_id.get(c).expect("faults lie inside the mesh");
+            debug_assert_ne!(id, NO_COMPONENT);
+            let comp = self.components[id as usize]
+                .as_ref()
+                .expect("faulty nodes map to live components");
+            return Some(comp.polygon.to_region());
+        }
+        if self.cover.get(c).copied().unwrap_or(0) == 0 {
+            return None;
+        }
+        // Covered by at least one polygon: pick the covering component
+        // with the smallest first cell — the same key polygons() sorts
+        // by — so overlaps resolve deterministically.
+        self.components
+            .iter()
+            .flatten()
+            .filter(|comp| comp.bbox.contains(c) && comp.polygon.contains(c))
+            .min_by_key(|comp| {
+                comp.cells
+                    .iter()
+                    .next()
+                    .expect("components are never empty")
+            })
+            .map(|comp| comp.polygon.to_region())
+    }
+
     /// Number of non-faulty nodes currently disabled (Figure 9 metric).
     pub fn disabled_nonfaulty(&self) -> usize {
         self.disabled
@@ -793,6 +855,79 @@ mod tests {
         }
         assert_eq!(concave.status(), virtual_block.status());
         assert_eq!(concave.polygons(), virtual_block.polygons());
+    }
+
+    /// The point queries must agree with the full `status()` /
+    /// `polygons()` snapshots at every node: faulty nodes resolve to
+    /// their owning component's polygon (recomputed here from the fault
+    /// set's 8-connected decomposition), disabled nodes to the first
+    /// covering polygon in `polygons()` order, enabled nodes to `None`.
+    fn assert_point_queries_match_snapshots(engine: &IncrementalEngine) {
+        let polygons = engine.polygons();
+        let comps = engine.faults().region().components(Connectivity::Eight);
+        let mut keys: Vec<Coord> = comps
+            .iter()
+            .map(|r| r.iter().next().expect("components are non-empty"))
+            .collect();
+        keys.sort();
+        for y in 0..engine.mesh().height() {
+            for x in 0..engine.mesh().width() {
+                let c = Coord::new(x, y);
+                assert_eq!(engine.node_status(c), engine.status().status(c));
+                let expect = match engine.status().status(c) {
+                    NodeStatus::Faulty => {
+                        let own = comps
+                            .iter()
+                            .find(|r| r.contains(c))
+                            .expect("faulty nodes lie in a component");
+                        let key = own.iter().next().expect("components are non-empty");
+                        let idx = keys.iter().position(|&k| k == key).expect("key is known");
+                        Some(polygons[idx].clone())
+                    }
+                    NodeStatus::Disabled => polygons.iter().find(|p| p.contains(c)).cloned(),
+                    NodeStatus::Enabled => None,
+                };
+                assert_eq!(engine.region_of(c), expect, "region_of({c:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn point_queries_pin_to_status_and_polygons() {
+        let mesh = Mesh2D::square(12);
+        let mut engine = IncrementalEngine::new(mesh);
+        // A wide U whose hull swallows interior nodes, a separate fault
+        // inside it (overlapping polygons), and an isolated singleton.
+        for (x, y) in [
+            (2, 2),
+            (3, 2),
+            (4, 2),
+            (5, 2),
+            (6, 2),
+            (2, 3),
+            (6, 3),
+            (2, 4),
+            (6, 4),
+            (4, 4),
+            (9, 9),
+        ] {
+            engine.apply(FaultEvent::Inject(Coord::new(x, y)));
+        }
+        assert_point_queries_match_snapshots(&engine);
+        assert_eq!(engine.faulty_count(), engine.faults().len());
+        // Repair churn keeps the queries pinned.
+        engine.apply(FaultEvent::Repair(Coord::new(4, 4)));
+        engine.apply(FaultEvent::Repair(Coord::new(4, 2)));
+        assert_point_queries_match_snapshots(&engine);
+    }
+
+    #[test]
+    fn point_queries_on_an_empty_engine() {
+        let engine = IncrementalEngine::new(Mesh2D::square(5));
+        assert_eq!(engine.node_status(Coord::new(2, 2)), NodeStatus::Enabled);
+        assert_eq!(engine.region_of(Coord::new(2, 2)), None);
+        assert_eq!(engine.region_of(Coord::new(50, 50)), None, "out of mesh");
+        assert_eq!(engine.faulty_count(), 0);
     }
 
     #[test]

@@ -305,6 +305,32 @@ impl StatusDelta {
             map.set(c, new);
         }
     }
+
+    /// Collapses the delta to at most one transition per node: the first
+    /// recorded `old` paired with the last recorded `new`, in the order
+    /// nodes first appeared. Nodes whose status returned to its starting
+    /// value drop out entirely, so a burst of events that cancels itself
+    /// coalesces to an empty delta. Replaying the coalesced delta
+    /// produces the same final map as replaying the original — the form
+    /// fan-out to subscribers should use.
+    pub fn coalesced(&self) -> StatusDelta {
+        let mut index: std::collections::HashMap<Coord, usize> =
+            std::collections::HashMap::with_capacity(self.changes.len());
+        let mut changes: Vec<(Coord, NodeStatus, NodeStatus)> = Vec::new();
+        for &(c, old, new) in &self.changes {
+            match index.entry(c) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    changes[*slot.get()].2 = new;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(changes.len());
+                    changes.push((c, old, new));
+                }
+            }
+        }
+        changes.retain(|&(_, old, new)| old != new);
+        StatusDelta { changes }
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +447,39 @@ mod tests {
         first.apply_to(&mut map);
         assert_eq!(map.status(Coord::new(1, 1)), NodeStatus::Faulty);
         assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn coalesced_keeps_first_old_and_last_new_per_node() {
+        let mesh = Mesh2D::square(4);
+        let mut delta = StatusDelta::new();
+        // (1,1): Enabled -> Disabled -> Faulty  ⇒ one Enabled -> Faulty entry.
+        delta.record(Coord::new(1, 1), NodeStatus::Enabled, NodeStatus::Disabled);
+        delta.record(Coord::new(0, 0), NodeStatus::Enabled, NodeStatus::Faulty);
+        delta.record(Coord::new(1, 1), NodeStatus::Disabled, NodeStatus::Faulty);
+        // (2,2): Enabled -> Disabled -> Enabled  ⇒ cancels out.
+        delta.record(Coord::new(2, 2), NodeStatus::Enabled, NodeStatus::Disabled);
+        delta.record(Coord::new(2, 2), NodeStatus::Disabled, NodeStatus::Enabled);
+        let coalesced = delta.coalesced();
+        assert_eq!(
+            coalesced.changes(),
+            &[
+                (Coord::new(1, 1), NodeStatus::Enabled, NodeStatus::Faulty),
+                (Coord::new(0, 0), NodeStatus::Enabled, NodeStatus::Faulty),
+            ],
+            "first-appearance order, self-cancelling node dropped"
+        );
+        // Replaying either form yields the same final map.
+        let mut a = StatusMap::all_enabled(&mesh);
+        let mut b = StatusMap::all_enabled(&mesh);
+        delta.apply_to(&mut a);
+        coalesced.apply_to(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coalescing_an_empty_delta_is_empty() {
+        assert!(StatusDelta::new().coalesced().is_empty());
     }
 
     #[test]

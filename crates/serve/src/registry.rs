@@ -1,0 +1,139 @@
+//! The mutex-striped tenant registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::channel::Sender;
+use mocp_incremental::IncrementalEngine;
+
+use crate::service::{TenantId, TenantUpdate};
+
+/// One monitored mesh: its maintenance engine plus the service-level
+/// bookkeeping that lives under the same shard lock.
+pub(crate) struct Tenant {
+    /// The per-mesh incremental MFP engine.
+    pub engine: IncrementalEngine,
+    /// Batches applied so far; stamped onto fan-out updates so
+    /// subscribers can detect (their own) missed updates.
+    pub seq: u64,
+    /// Events applied so far (including no-ops).
+    pub events_applied: u64,
+    /// Registered delta subscribers. `None` capacity means the
+    /// subscriber's channel is unbounded; bounded subscribers that fall
+    /// behind have updates dropped rather than stalling the worker.
+    pub subscribers: Vec<Sender<TenantUpdate>>,
+}
+
+/// Tenants spread over mutex-striped shards: looking up a tenant locks
+/// only its shard, so ingestion into one shard never blocks queries on
+/// another.
+pub(crate) struct ShardedRegistry {
+    shards: Vec<Mutex<HashMap<TenantId, Tenant>>>,
+    tenants: AtomicUsize,
+}
+
+/// SplitMix64 finalizer: spreads sequential tenant ids over shards and
+/// workers without clustering.
+#[inline]
+pub(crate) fn spread(id: TenantId) -> u64 {
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardedRegistry {
+    pub fn new(shards: usize) -> Self {
+        ShardedRegistry {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            tenants: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, tenant: TenantId) -> &Mutex<HashMap<TenantId, Tenant>> {
+        &self.shards[(spread(tenant) % self.shards.len() as u64) as usize]
+    }
+
+    /// Inserts a fresh tenant; `false` (tenant untouched) when the id is
+    /// already registered.
+    pub fn insert(&self, tenant: TenantId, state: Tenant) -> bool {
+        let mut shard = self.shard(tenant).lock().expect("shard lock poisoned");
+        if shard.contains_key(&tenant) {
+            return false;
+        }
+        shard.insert(tenant, state);
+        self.tenants.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// True when the id is registered.
+    pub fn contains(&self, tenant: TenantId) -> bool {
+        self.shard(tenant)
+            .lock()
+            .expect("shard lock poisoned")
+            .contains_key(&tenant)
+    }
+
+    /// Runs `f` on the tenant's state under its shard lock; `None` for
+    /// unknown tenants.
+    pub fn with<R>(&self, tenant: TenantId, f: impl FnOnce(&mut Tenant) -> R) -> Option<R> {
+        let mut shard = self.shard(tenant).lock().expect("shard lock poisoned");
+        shard.get_mut(&tenant).map(f)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh2d::Mesh2D;
+
+    fn tenant(mesh_side: u32) -> Tenant {
+        Tenant {
+            engine: IncrementalEngine::new(Mesh2D::square(mesh_side)),
+            seq: 0,
+            events_applied: 0,
+            subscribers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn insert_contains_with_and_duplicate_rejection() {
+        let reg = ShardedRegistry::new(4);
+        assert_eq!(reg.len(), 0);
+        assert!(reg.insert(3, tenant(8)));
+        assert!(!reg.insert(3, tenant(8)), "duplicate id rejected");
+        assert!(reg.contains(3));
+        assert!(!reg.contains(4));
+        assert_eq!(reg.len(), 1);
+        let nodes = reg.with(3, |t| t.engine.mesh().node_count());
+        assert_eq!(nodes, Some(64));
+        assert_eq!(reg.with(4, |_| ()), None);
+    }
+
+    #[test]
+    fn spread_separates_sequential_ids() {
+        // Sequential tenant ids must not pile onto one shard.
+        let shards = 8u64;
+        let mut hits = vec![0u32; shards as usize];
+        for id in 0..64 {
+            hits[(spread(id) % shards) as usize] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 0), "all shards used: {hits:?}");
+    }
+
+    #[test]
+    fn single_shard_registry_still_works() {
+        let reg = ShardedRegistry::new(0); // clamped to 1
+        assert!(reg.insert(1, tenant(4)));
+        assert!(reg.insert(2, tenant(4)));
+        assert_eq!(reg.len(), 2);
+    }
+}

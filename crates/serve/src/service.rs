@@ -1,0 +1,487 @@
+//! The monitoring service: ingestion front, worker threads, fan-out and
+//! point queries.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use mesh2d::{Coord, FaultEvent, Mesh2D, NodeStatus, Region, StatusDelta};
+use mocp_incremental::IncrementalEngine;
+
+use crate::config::ServeConfig;
+use crate::registry::{spread, ShardedRegistry, Tenant};
+
+/// Tenant identifier: one monitored mesh per id.
+pub type TenantId = u64;
+
+/// One coalesced status update fanned out to a tenant's subscribers:
+/// everything one ingested batch changed, at most one transition per
+/// node. Batches that change nothing produce no update.
+#[derive(Clone, Debug)]
+pub struct TenantUpdate {
+    /// The tenant whose mesh changed.
+    pub tenant: TenantId,
+    /// The tenant's batch sequence number (1-based, increments per
+    /// applied batch whether or not anything changed) — gaps tell a
+    /// bounded subscriber how many updates it missed.
+    pub seq: u64,
+    /// The coalesced per-node transitions.
+    pub delta: StatusDelta,
+}
+
+/// O(1) counters answered from one tenant's maintained state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantCounts {
+    /// Faulty (black) nodes.
+    pub faulty: usize,
+    /// Non-faulty disabled (gray) nodes — the paper's Figure 9 metric,
+    /// live.
+    pub disabled_nonfaulty: usize,
+    /// Live faulty components (= maintained polygons).
+    pub components: usize,
+    /// Events applied to this tenant so far (including no-ops).
+    pub events_applied: u64,
+    /// Batches applied to this tenant so far.
+    pub seq: u64,
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The tenant id is not registered.
+    UnknownTenant(TenantId),
+    /// The owning worker's bounded queue is full
+    /// ([`MonitorService::try_submit`] only; [`MonitorService::submit`]
+    /// blocks instead).
+    Backpressure(TenantId),
+    /// The service is shutting down and no longer accepts events.
+    Shutdown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            SubmitError::Backpressure(t) => {
+                write!(f, "ingestion queue full for tenant {t}'s worker")
+            }
+            SubmitError::Shutdown => f.write_str("service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A snapshot of the service-wide counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStatsSnapshot {
+    /// Event batches applied by the workers.
+    pub batches: u64,
+    /// Events applied (including per-engine no-ops).
+    pub events: u64,
+    /// Point queries answered.
+    pub queries: u64,
+    /// Coalesced updates delivered to subscribers.
+    pub updates_sent: u64,
+    /// Updates dropped because a bounded subscriber was full.
+    pub updates_dropped: u64,
+}
+
+#[derive(Default)]
+struct ServiceStats {
+    batches: AtomicU64,
+    events: AtomicU64,
+    queries: AtomicU64,
+    updates_sent: AtomicU64,
+    updates_dropped: AtomicU64,
+}
+
+impl ServiceStats {
+    fn snapshot(&self) -> ServiceStatsSnapshot {
+        ServiceStatsSnapshot {
+            batches: self.batches.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            updates_sent: self.updates_sent.load(Ordering::Relaxed),
+            updates_dropped: self.updates_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Submitted-vs-applied event accounting behind
+/// [`MonitorService::quiesce`]. A mutex-guarded pair (not two atomics):
+/// `quiesce` must observe `applied == submitted` consistently, and the
+/// ledger is touched once per *batch*, so the lock is off the per-event
+/// path.
+#[derive(Default)]
+struct Ledger {
+    counts: Mutex<(u64, u64)>, // (submitted, applied)
+    drained: Condvar,
+}
+
+impl Ledger {
+    fn add_submitted(&self, n: u64) {
+        self.counts.lock().expect("ledger poisoned").0 += n;
+    }
+
+    /// Compensation for a submission the channel refused after the
+    /// submitted count was already bumped.
+    fn retract_submitted(&self, n: u64) {
+        self.counts.lock().expect("ledger poisoned").0 -= n;
+        self.drained.notify_all();
+    }
+
+    fn add_applied(&self, n: u64) {
+        let mut counts = self.counts.lock().expect("ledger poisoned");
+        counts.1 += n;
+        if counts.1 >= counts.0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn wait_drained(&self) {
+        let mut counts = self.counts.lock().expect("ledger poisoned");
+        while counts.1 < counts.0 {
+            counts = self.drained.wait(counts).expect("ledger poisoned");
+        }
+    }
+}
+
+/// One queued unit of ingestion: a tenant's events, applied atomically
+/// under the tenant's shard lock and fanned out as one coalesced update.
+struct Batch {
+    tenant: TenantId,
+    events: Vec<FaultEvent>,
+}
+
+/// The sharded multi-tenant monitoring service. See the [crate
+/// docs](crate) for the architecture.
+///
+/// Dropping the service shuts it down: queued batches are still drained
+/// (no submitted event is lost), then the workers exit and are joined.
+/// [`shutdown`](Self::shutdown) does the same explicitly.
+pub struct MonitorService {
+    config: ServeConfig,
+    registry: Arc<ShardedRegistry>,
+    /// One bounded queue per worker; cleared to disconnect on shutdown.
+    queues: Vec<Sender<Batch>>,
+    workers: Vec<JoinHandle<()>>,
+    ledger: Arc<Ledger>,
+    stats: Arc<ServiceStats>,
+}
+
+impl MonitorService {
+    /// Starts the service: builds the shard stripes and spawns the
+    /// ingestion workers.
+    pub fn start(config: ServeConfig) -> MonitorService {
+        let registry = Arc::new(ShardedRegistry::new(config.shards));
+        let ledger = Arc::new(Ledger::default());
+        let stats = Arc::new(ServiceStats::default());
+        let mut queues = Vec::with_capacity(config.workers.max(1));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for w in 0..config.workers.max(1) {
+            let (tx, rx) = channel::bounded::<Batch>(config.queue_capacity.max(1));
+            queues.push(tx);
+            let registry = Arc::clone(&registry);
+            let ledger = Arc::clone(&ledger);
+            let stats = Arc::clone(&stats);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mocp-serve-{w}"))
+                    .spawn(move || worker_loop(&registry, &rx, &ledger, &stats))
+                    .expect("worker thread spawn cannot fail"),
+            );
+        }
+        MonitorService {
+            config,
+            registry,
+            queues,
+            workers,
+            ledger,
+            stats,
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Registers a fresh fault-free tenant mesh, using the configured
+    /// centralized solution. Returns `false` (and changes nothing) when
+    /// the id is already registered. Tenants are never removed.
+    pub fn create_tenant(&self, tenant: TenantId, mesh: Mesh2D) -> bool {
+        let created = self.registry.insert(
+            tenant,
+            Tenant {
+                engine: IncrementalEngine::with_solution(mesh, self.config.solution),
+                seq: 0,
+                events_applied: 0,
+                subscribers: Vec::new(),
+            },
+        );
+        if created {
+            mocp_obs::gauge!("serve.tenants").set(self.registry.len() as i64);
+        }
+        created
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Submits a batch of events for `tenant`, blocking while the owning
+    /// worker's queue is full (backpressure). Events of one tenant are
+    /// applied in submission order as long as each tenant is fed from
+    /// one thread at a time. An empty batch is a no-op.
+    pub fn submit(&self, tenant: TenantId, events: Vec<FaultEvent>) -> Result<(), SubmitError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        if !self.registry.contains(tenant) {
+            return Err(SubmitError::UnknownTenant(tenant));
+        }
+        let n = events.len() as u64;
+        // Submitted is bumped before the send so `applied <= submitted`
+        // holds at every instant a worker could observe the batch.
+        self.ledger.add_submitted(n);
+        match self.queue_of(tenant).send(Batch { tenant, events }) {
+            Ok(()) => {
+                mocp_obs::counter!("serve.submitted").add(n);
+                Ok(())
+            }
+            Err(_) => {
+                self.ledger.retract_submitted(n);
+                Err(SubmitError::Shutdown)
+            }
+        }
+    }
+
+    /// Like [`submit`](Self::submit) but never blocks: a full worker
+    /// queue returns [`SubmitError::Backpressure`] and hands the events
+    /// back via the error (the batch is not partially enqueued).
+    pub fn try_submit(&self, tenant: TenantId, events: Vec<FaultEvent>) -> Result<(), SubmitError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        if !self.registry.contains(tenant) {
+            return Err(SubmitError::UnknownTenant(tenant));
+        }
+        let n = events.len() as u64;
+        self.ledger.add_submitted(n);
+        match self.queue_of(tenant).try_send(Batch { tenant, events }) {
+            Ok(()) => {
+                mocp_obs::counter!("serve.submitted").add(n);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.ledger.retract_submitted(n);
+                mocp_obs::counter!("serve.backpressure").inc();
+                Err(SubmitError::Backpressure(tenant))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.ledger.retract_submitted(n);
+                Err(SubmitError::Shutdown)
+            }
+        }
+    }
+
+    /// Blocks until every event submitted so far has been applied. New
+    /// submissions racing with the wait extend it; with submissions
+    /// stopped this is the "all queues drained" barrier.
+    pub fn quiesce(&self) {
+        self.ledger.wait_drained();
+    }
+
+    /// Registers a subscriber for `tenant`'s coalesced updates and
+    /// returns the receiving end. `capacity: None` subscribes over an
+    /// unbounded channel (never misses an update); `Some(n)` bounds the
+    /// buffer at `n` updates and *drops* updates while the subscriber is
+    /// full — the worker never stalls on a slow consumer, and `seq` gaps
+    /// tell the subscriber what it missed. `None` is returned for
+    /// unknown tenants. Dropping the receiver unsubscribes (lazily, at
+    /// the next fan-out).
+    pub fn subscribe(
+        &self,
+        tenant: TenantId,
+        capacity: Option<usize>,
+    ) -> Option<Receiver<TenantUpdate>> {
+        let (tx, rx) = match capacity {
+            Some(n) => channel::bounded(n),
+            None => channel::unbounded(),
+        };
+        self.registry
+            .with(tenant, move |state| state.subscribers.push(tx))
+            .map(|()| rx)
+    }
+
+    /// The maintained status of one node: `None` for unknown tenants and
+    /// out-of-mesh coordinates.
+    pub fn node_status(&self, tenant: TenantId, c: Coord) -> Option<NodeStatus> {
+        self.query(tenant, |engine| engine.status().get(c))
+            .flatten()
+    }
+
+    /// The maintained minimum polygon containing the node, if any (see
+    /// [`IncrementalEngine::region_of`]): `None` for unknown tenants,
+    /// out-of-mesh coordinates and enabled nodes.
+    pub fn region_of(&self, tenant: TenantId, c: Coord) -> Option<Region> {
+        self.query(tenant, |engine| engine.region_of(c)).flatten()
+    }
+
+    /// O(1) counters for one tenant; `None` for unknown tenants.
+    pub fn counts(&self, tenant: TenantId) -> Option<TenantCounts> {
+        self.query_tenant(tenant, |state| TenantCounts {
+            faulty: state.engine.faulty_count(),
+            disabled_nonfaulty: state.engine.disabled_nonfaulty(),
+            components: state.engine.component_count(),
+            events_applied: state.events_applied,
+            seq: state.seq,
+        })
+    }
+
+    /// A snapshot of every maintained polygon of one tenant, in
+    /// deterministic component order; `None` for unknown tenants.
+    pub fn polygons(&self, tenant: TenantId) -> Option<Vec<Region>> {
+        self.query(tenant, |engine| engine.polygons())
+    }
+
+    /// Service-wide counters.
+    pub fn stats(&self) -> ServiceStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Shuts the service down: disconnects the ingestion queues, lets
+    /// the workers drain what was already queued, and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queues.clear();
+        let mut worker_panicked = false;
+        for handle in self.workers.drain(..) {
+            worker_panicked |= handle.join().is_err();
+        }
+        if worker_panicked && !std::thread::panicking() {
+            panic!("a mocp-serve worker thread panicked");
+        }
+    }
+
+    fn queue_of(&self, tenant: TenantId) -> &Sender<Batch> {
+        &self.queues[(spread(tenant) % self.queues.len() as u64) as usize]
+    }
+
+    /// Runs one timed point query against a tenant's engine.
+    fn query<R>(&self, tenant: TenantId, f: impl FnOnce(&IncrementalEngine) -> R) -> Option<R> {
+        self.query_tenant(tenant, |state| f(&state.engine))
+    }
+
+    fn query_tenant<R>(&self, tenant: TenantId, f: impl FnOnce(&mut Tenant) -> R) -> Option<R> {
+        let _span = mocp_obs::span!("serve.query");
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        mocp_obs::counter!("serve.queries").inc();
+        self.registry.with(tenant, f)
+    }
+}
+
+impl Drop for MonitorService {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+impl fmt::Debug for MonitorService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorService")
+            .field("config", &self.config)
+            .field("tenants", &self.registry.len())
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+/// One worker: drain the queue, apply each batch under its tenant's
+/// shard lock, fan out the coalesced delta. Exits when the service
+/// disconnects the queue *and* every queued batch has been processed.
+fn worker_loop(
+    registry: &ShardedRegistry,
+    queue: &Receiver<Batch>,
+    ledger: &Ledger,
+    stats: &ServiceStats,
+) {
+    while let Ok(batch) = queue.recv() {
+        let n = batch.events.len() as u64;
+        let (sent, dropped) = {
+            let _span = mocp_obs::span!("serve.apply");
+            registry
+                .with(batch.tenant, |state| {
+                    let mut delta = StatusDelta::new();
+                    for event in batch.events {
+                        delta.extend(state.engine.apply(event));
+                    }
+                    state.seq += 1;
+                    state.events_applied += n;
+                    fan_out(state, batch.tenant, delta)
+                })
+                // Unknown tenants cannot happen today (submit checks and
+                // tenants are never removed), but losing that race must
+                // not wedge the ledger.
+                .unwrap_or((0, 0))
+        };
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.events.fetch_add(n, Ordering::Relaxed);
+        stats.updates_sent.fetch_add(sent, Ordering::Relaxed);
+        stats.updates_dropped.fetch_add(dropped, Ordering::Relaxed);
+        mocp_obs::counter!("serve.batches").inc();
+        mocp_obs::counter!("serve.events").add(n);
+        ledger.add_applied(n);
+    }
+}
+
+/// Delivers one batch's coalesced delta to the tenant's subscribers.
+/// Returns `(updates sent, updates dropped)`; disconnected subscribers
+/// are unregistered.
+fn fan_out(state: &mut Tenant, tenant: TenantId, delta: StatusDelta) -> (u64, u64) {
+    if state.subscribers.is_empty() {
+        return (0, 0);
+    }
+    let coalesced = delta.coalesced();
+    if coalesced.is_empty() {
+        return (0, 0);
+    }
+    mocp_obs::counter!("serve.fanout_deltas").add(coalesced.len() as u64);
+    let seq = state.seq;
+    let mut sent = 0;
+    let mut dropped = 0;
+    state.subscribers.retain(|subscriber| {
+        let update = TenantUpdate {
+            tenant,
+            seq,
+            delta: coalesced.clone(),
+        };
+        match subscriber.try_send(update) {
+            Ok(()) => {
+                sent += 1;
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                // A slow bounded subscriber loses this update instead of
+                // stalling ingestion; the seq gap tells it so.
+                dropped += 1;
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    });
+    if dropped > 0 {
+        mocp_obs::counter!("serve.fanout_dropped").add(dropped);
+    }
+    (sent, dropped)
+}

@@ -30,4 +30,5 @@ pub use mocp_3d;
 pub use mocp_core;
 pub use mocp_incremental;
 pub use mocp_obs;
+pub use mocp_serve;
 pub use mocp_topology;

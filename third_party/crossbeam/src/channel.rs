@@ -1,0 +1,617 @@
+//! Multi-producer multi-consumer channels with crossbeam's API shape.
+//!
+//! The real `crossbeam::channel` is a lock-free segmented queue; this
+//! stand-in is a `Mutex<VecDeque>` plus two condvars, which preserves
+//! the *semantics* the workspace relies on — FIFO delivery, bounded
+//! capacity backpressure, clonable senders **and** receivers, and
+//! disconnect detection on both ends — at mutex speed. The monitoring
+//! service moves batches (hundreds of events per message), so per-send
+//! overhead is amortized and the mutex is never the bottleneck.
+//!
+//! Provided subset: [`bounded`] / [`unbounded`] constructors,
+//! [`Sender::send`] / [`Sender::try_send`], [`Receiver::recv`] /
+//! [`Receiver::try_recv`] / [`Receiver::recv_timeout`] /
+//! [`Receiver::iter`] / [`Receiver::try_iter`], `len` / `is_empty` on
+//! both ends, and the error vocabulary ([`SendError`], [`TrySendError`],
+//! [`RecvError`], [`TryRecvError`], [`RecvTimeoutError`]).
+//!
+//! Disconnect semantics match the real crate:
+//!
+//! * a send fails with the message returned once every `Receiver` is
+//!   dropped;
+//! * a receive fails with `Disconnected` once every `Sender` is dropped
+//!   **and** the queue has been drained — messages already queued are
+//!   still delivered.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The sending side of a channel is gone (every `Sender` dropped) or the
+/// receiving side is gone, depending on the operation; carries the
+/// undeliverable message.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Why a [`Sender::try_send`] did not enqueue; carries the message back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+        }
+    }
+
+    /// True for the [`TrySendError::Full`] case.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    /// True for the [`TrySendError::Disconnected`] case.
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TrySendError::Disconnected(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Every sender was dropped and the queue is drained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Why a [`Receiver::try_recv`] returned no message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TryRecvError {
+    /// The queue is currently empty but senders remain.
+    Empty,
+    /// Every sender was dropped and the queue is drained.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+/// Why a [`Receiver::recv_timeout`] returned no message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the queue still empty.
+    Timeout,
+    /// Every sender was dropped and the queue is drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+impl std::error::Error for TryRecvError {}
+impl std::error::Error for RecvTimeoutError {}
+impl<T> std::error::Error for SendError<T> {}
+impl<T> std::error::Error for TrySendError<T> {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    /// `None` for unbounded channels.
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled on enqueue and on last-sender drop (wakes receivers).
+    not_empty: Condvar,
+    /// Signalled on dequeue and on last-receiver drop (wakes senders).
+    not_full: Condvar,
+}
+
+/// Creates a bounded FIFO channel: sends block (or fail with
+/// [`TrySendError::Full`]) while `cap` messages are queued. A capacity
+/// of zero is bumped to one — the shim has no rendezvous mode, and no
+/// call site in this workspace asks for one.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+/// Creates an unbounded FIFO channel: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half. Clonable (multi-producer); the channel disconnects
+/// for receivers when the last clone is dropped and the queue drains.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while a bounded channel is at capacity.
+    /// Fails (returning the message) once every receiver is dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match inner.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = self.shared.not_full.wait(inner).unwrap();
+                }
+                _ => {
+                    inner.queue.push_back(msg);
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Enqueues `msg` without blocking; [`TrySendError::Full`] at
+    /// capacity, [`TrySendError::Disconnected`] when every receiver is
+    /// gone.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        match inner.cap {
+            Some(cap) if inner.queue.len() >= cap => Err(TrySendError::Full(msg)),
+            _ => {
+                inner.queue.push_back(msg);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().unwrap().queue.len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.inner.lock().unwrap().cap
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            inner.senders == 0
+        };
+        if last {
+            // Wake every blocked receiver so it can observe the
+            // disconnect once the queue drains.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half. Clonable (multi-consumer: each message is
+/// delivered to exactly one receiver); the channel disconnects for
+/// senders when the last clone is dropped.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the queue is empty.
+    /// Fails only when every sender is dropped *and* the queue is
+    /// drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Dequeues the next message, giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
+            if result.timed_out() && inner.queue.is_empty() && inner.senders > 0 {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// A blocking iterator over received messages; ends when the channel
+    /// disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// A non-blocking iterator draining only the messages already
+    /// queued.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().unwrap().queue.len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.receivers -= 1;
+            inner.receivers == 0
+        };
+        if last {
+            // Wake every blocked sender so it can fail fast.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// Non-blocking iterator returned by [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_send_recv() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_backpressure_try_send_full() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.capacity(), Some(2));
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    fn bounded_blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let sender = thread::spawn(move || {
+            // Blocks until the main thread drains the queued message.
+            tx.send(1).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped_to_one() {
+        let (tx, rx) = bounded(0);
+        tx.try_send(7).unwrap();
+        assert!(tx.try_send(8).unwrap_err().is_full());
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn recv_after_all_senders_drop_drains_then_disconnects() {
+        let (tx, rx) = unbounded();
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_after_all_receivers_drop_fails_with_message() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+        assert!(tx.try_send(9).unwrap_err().is_disconnected());
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let receiver = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(receiver.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        let sender = thread::spawn(move || tx.send(1));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(sender.join().unwrap(), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_senders_and_receivers_share_the_channel() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        // Each message goes to exactly one receiver.
+        let mut got = vec![rx.recv().unwrap(), rx2.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        // Dropping one clone does not disconnect.
+        drop(tx2);
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx2);
+        tx.send(4).unwrap();
+        assert_eq!(rx.recv(), Ok(4));
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_every_message_once() {
+        let (tx, rx) = bounded(8);
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100u64 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().collect::<Vec<u64>>())
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..100u64).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(rx.try_iter().next().is_none(), "empty but not blocked");
+        drop(tx);
+    }
+
+    #[test]
+    fn per_sender_fifo_order_is_preserved() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..50u32 {
+                tx2.send(i).unwrap();
+            }
+        });
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,9 +1,11 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The workspace uses `crossbeam::scope` (scoped threads whose closures
-//! receive the scope so they could spawn nested work) and
+//! receive the scope so they could spawn nested work),
 //! [`utils::CachePadded`] (cache-line padding for the `rayon` shim's
-//! per-worker deques). Since Rust 1.63 the standard library provides
+//! per-worker deques) and [`channel`] (MPMC FIFO channels with bounded
+//! backpressure — the ingestion queues of the `mocp_serve` monitoring
+//! service). Since Rust 1.63 the standard library provides
 //! `std::thread::scope`, so the scope here is a thin adapter that
 //! preserves crossbeam's call shape:
 //!
@@ -23,6 +25,7 @@
 //! instead of returning `Err`. Every call site in this workspace joins
 //! its handles, so the difference is unobservable here.
 
+pub mod channel;
 pub mod thread;
 pub mod utils;
 
