@@ -9,7 +9,7 @@
 use bench::workload;
 use criterion::{criterion_group, criterion_main, Criterion};
 use faultgen::FaultDistribution;
-use meshroute::RoutingExperiment;
+use meshroute::{ExtendedECube, PairSample, RoutingExperiment};
 use mocp_core::standard_registry;
 
 fn bench_routing(c: &mut Criterion) {
@@ -23,8 +23,13 @@ fn bench_routing(c: &mut Criterion) {
         .expect("registered");
 
     // Report the comparison once: delivery rate and stretch under each model.
+    // One injected pair sample is shared by both models (the same sampler
+    // the traffic simulator's reachability probe draws from), so the
+    // comparison is paired: identical pairs, different regions.
+    let report_sample = PairSample::strided(&mesh, 151);
     for outcome in [&fb, &mfp] {
-        let stats = RoutingExperiment::new(&mesh, &outcome.status, 151).run();
+        let stats =
+            RoutingExperiment::with_sample(&mesh, &outcome.status, report_sample.clone()).run();
         eprintln!(
             "{}: delivery rate {:.3}, avg stretch {:.3}, avg abnormal hops {:.2}, excluded endpoints {}",
             outcome.model,
@@ -35,13 +40,22 @@ fn bench_routing(c: &mut Criterion) {
         );
     }
 
+    // The timed loops share one sample too, and route through a router
+    // whose region labelling is derived once outside the loop — the
+    // measured work is the routing itself.
+    let bench_sample = PairSample::strided(&mesh, 307);
+    let fb_exp = RoutingExperiment::with_sample(&mesh, &fb.status, bench_sample.clone());
+    let mfp_exp = RoutingExperiment::with_sample(&mesh, &mfp.status, bench_sample);
+    let fb_router = ExtendedECube::new(&mesh, &fb.status);
+    let mfp_router = ExtendedECube::new(&mesh, &mfp.status);
+
     let mut group = c.benchmark_group("ablation_routing");
     group.sample_size(10);
     group.bench_function("route_over_fb_regions", |b| {
-        b.iter(|| std::hint::black_box(RoutingExperiment::new(&mesh, &fb.status, 307).run()))
+        b.iter(|| std::hint::black_box(fb_exp.run_with(&fb_router)))
     });
     group.bench_function("route_over_mfp_regions", |b| {
-        b.iter(|| std::hint::black_box(RoutingExperiment::new(&mesh, &mfp.status, 307).run()))
+        b.iter(|| std::hint::black_box(mfp_exp.run_with(&mfp_router)))
     });
     group.finish();
 }

@@ -9,7 +9,7 @@
 //!     --baseline old.json --out BENCH_6.json                     # with speedups
 //! ```
 //!
-//! Five workloads are timed, matching the repository's own definitions:
+//! Six workloads are timed, matching the repository's own definitions:
 //!
 //! * `batch_sweep_2d_100x800` — the batch arm of the
 //!   `incremental_vs_batch` bench: CMFP (concave sections) reconstructed
@@ -26,7 +26,13 @@
 //!   service spawns its own threads, so this workload is timed once (not
 //!   per pool size); sustained events/sec is appended to its `detail`
 //!   and, with `--features obs`, the `serve.query.us` histogram
-//!   (p50/p90/p99 query latency) lands in its `metrics` section.
+//!   (p50/p90/p99 query latency) lands in its `metrics` section;
+//! * `traffic_512sq` — the cycle-driven traffic simulator
+//!   (`experiments::run_traffic`) pushing 40 000 messages per
+//!   (model × pattern) cell through FB and CMFP regions on a 512×512
+//!   mesh with 250 random faults, under all three patterns. The six
+//!   cells fan out on the measured pool, so this workload carries a
+//!   real scaling table.
 //!
 //! In full mode every workload is measured at 1, 2, 4 and 8 pool
 //! threads (the per-count timings land in each workload's `scaling`
@@ -52,7 +58,7 @@
 //! (the headline numbers stay the 1-thread entry).
 
 use experiments::scenario::{run_scenario, Scenario};
-use experiments::SweepConfig;
+use experiments::{run_traffic, SweepConfig, TrafficScenario};
 use faultgen::{FaultDistribution, FaultInjector};
 use fblock::FaultModel;
 use mesh2d::{Coord, FaultEvent, FaultSet, Mesh2D};
@@ -284,7 +290,7 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_8.json".to_string());
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_9.json".to_string());
     let baseline = flag_value("--baseline").map(|path| {
         std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"))
@@ -501,6 +507,54 @@ fn main() {
             best_eps.load(std::sync::atomic::Ordering::Relaxed)
         );
         measurements.push(measurement);
+    }
+
+    // Workload 6: the heavy-traffic simulator over live regions. The
+    // (model x pattern) cells are independent rayon tasks, so the sweep
+    // scales with the measured pool; the cell size is kept below the
+    // acceptance run (1M messages) so the full report stays minutes, not
+    // hours.
+    {
+        let scenario = if quick {
+            TrafficScenario {
+                trials: 1,
+                ..TrafficScenario::quick()
+            }
+        } else {
+            TrafficScenario {
+                messages: 40_000,
+                reachable_sample: 500,
+                ..TrafficScenario::full()
+            }
+        };
+        let registry = mocp_core::standard_registry();
+        measurements.push(time_workload(
+            if quick {
+                "traffic_quick"
+            } else {
+                "traffic_512sq"
+            },
+            format!(
+                "run_traffic FB/CMFP x uniform/transpose/hotspot: {} msgs per cell on a \
+                 {}x{} mesh with {} {} faults (rate {}/cycle, seed {:#x})",
+                scenario.messages,
+                scenario.mesh_size,
+                scenario.mesh_size,
+                scenario.faults,
+                scenario.distribution.label(),
+                scenario.injection_rate,
+                scenario.base_seed
+            ),
+            repeats,
+            &pools,
+            show_metrics,
+            || {
+                run_traffic(&registry, &scenario)
+                    .expect("traffic models and patterns resolve")
+                    .cells
+                    .len()
+            },
+        ));
     }
 
     if let Some(path) = &trace_path {

@@ -1,25 +1,26 @@
-//! Pins the committed BENCH_8.json perf report: schema, workload set,
+//! Pins the committed BENCH_9.json perf report: schema, workload set,
 //! and the `--baseline` comparison path.
 //!
 //! The harness's `--baseline` flag extracts headline numbers from a
 //! previous report with [`bench::baseline_min_ms`]; running that same
 //! parser against the committed report both validates the file and
 //! exercises the comparison exactly as `perf_report --baseline
-//! BENCH_8.json` would.
+//! BENCH_9.json` would.
 
 use bench::baseline_min_ms;
 
-const FULL_WORKLOADS: [&str; 5] = [
+const FULL_WORKLOADS: [&str; 6] = [
     "batch_sweep_2d_100x800",
     "incremental_stream_512x20k",
     "paper_figures_2d",
     "paper_figures_3d",
     "serve_ingest_1k_tenants",
+    "traffic_512sq",
 ];
 
 fn committed_report() -> String {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
-    std::fs::read_to_string(path).expect("BENCH_8.json is committed at the repo root")
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::read_to_string(path).expect("BENCH_9.json is committed at the repo root")
 }
 
 #[test]
@@ -27,7 +28,7 @@ fn committed_report_uses_the_current_schema() {
     let report = committed_report();
     assert!(
         report.contains("\"schema\": \"mocp-perf-report/3\""),
-        "BENCH_8.json must be regenerated with the current harness"
+        "BENCH_9.json must be regenerated with the current harness"
     );
     assert!(
         report.contains("\"mode\": \"full\""),
@@ -40,7 +41,7 @@ fn every_full_workload_is_usable_as_a_baseline() {
     let report = committed_report();
     for name in FULL_WORKLOADS {
         let min = baseline_min_ms(&report, name)
-            .unwrap_or_else(|| panic!("workload {name} missing from BENCH_8.json"));
+            .unwrap_or_else(|| panic!("workload {name} missing from BENCH_9.json"));
         assert!(
             min.is_finite() && min > 0.0,
             "{name}: headline min must be a positive duration, got {min}"
@@ -50,18 +51,18 @@ fn every_full_workload_is_usable_as_a_baseline() {
 
 #[test]
 fn committed_report_exercised_the_baseline_comparison() {
-    // BENCH_8.json was generated with `--baseline BENCH_6.json`, so the
-    // pre-existing workloads must carry comparison fields; the serve
+    // BENCH_9.json was generated with `--baseline BENCH_8.json`, so the
+    // pre-existing workloads must carry comparison fields; the traffic
     // workload is new in this report and must not fabricate one.
     let report = committed_report();
     assert!(report.contains("\"baseline_min\""));
     assert!(report.contains("\"speedup\""));
-    let serve_at = report
-        .find("\"serve_ingest_1k_tenants\"")
-        .expect("serve workload present");
+    let traffic_at = report
+        .find("\"traffic_512sq\"")
+        .expect("traffic workload present");
     assert!(
-        !report[serve_at..].contains("\"speedup\""),
-        "the serve workload had no baseline to compare against"
+        !report[traffic_at..].contains("\"speedup\""),
+        "the traffic workload had no baseline to compare against"
     );
 }
 
@@ -80,4 +81,20 @@ fn serve_workload_records_throughput_and_query_latency() {
         "query-latency histogram (p50/p99) belongs in the serve metrics"
     );
     assert!(serve.contains("\"serve.ingest.events_per_sec\""));
+}
+
+#[test]
+fn traffic_workload_scales_and_describes_its_cells() {
+    let report = committed_report();
+    let traffic = &report[report
+        .find("\"traffic_512sq\"")
+        .expect("traffic workload present")..];
+    assert!(
+        traffic.contains("512x512"),
+        "the traffic workload's detail names the mesh"
+    );
+    assert!(
+        traffic.contains("\"scaling\""),
+        "the traffic cells fan out on the measured pool"
+    );
 }

@@ -45,6 +45,7 @@ pub mod serve_workload;
 pub mod streaming;
 pub mod sweep;
 pub mod table;
+pub mod traffic;
 
 pub use scenario::{
     paper_model_names, paper_model_names_3d, run_scenario, Metric, Scenario, ScenarioPoint,
@@ -57,3 +58,4 @@ pub use serve_workload::{
 pub use streaming::{run_scenario_streaming, StreamingPoint, StreamingResult};
 pub use sweep::{ModelPoint, SweepConfig};
 pub use table::{render_csv, render_table, Series};
+pub use traffic::{render_traffic_csv, run_traffic, TrafficCell, TrafficResult, TrafficScenario};

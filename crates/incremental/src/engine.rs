@@ -312,6 +312,59 @@ impl IncrementalEngine {
         delta
     }
 
+    /// Applies a whole event stream and returns the **coalesced** delta:
+    /// one `(first old, last new)` entry per net-changed node, with
+    /// self-cancelling churn dropped. This is exactly the batch shape
+    /// `mocp_serve` fans out to subscribers and the `mocp_traffic` reroute
+    /// index consumes.
+    pub fn delta_batch(&mut self, events: impl IntoIterator<Item = FaultEvent>) -> StatusDelta {
+        self.apply_all(events).coalesced()
+    }
+
+    /// Ids of the live components, ascending. An id is stable while its
+    /// component survives; merges retire the absorbed ids and splits mint
+    /// fresh ones, so treat ids as valid only until the next event.
+    pub fn component_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(_, comp)| comp.is_some())
+            .map(|(id, _)| id as u32)
+    }
+
+    /// The id of the component owning faulty node `c`; `None` for
+    /// non-faulty or out-of-mesh nodes. (Non-faulty covered nodes belong
+    /// to a *polygon*, not a component — use [`region_of`](Self::region_of)
+    /// for that query.)
+    pub fn component_at(&self, c: Coord) -> Option<u32> {
+        if !self.faults.is_faulty(c) {
+            return None;
+        }
+        let id = *self.comp_id.get(c).expect("faults lie inside the mesh");
+        debug_assert_ne!(id, NO_COMPONENT);
+        Some(id)
+    }
+
+    /// Borrowed faulty cells of live component `id`; `None` for retired or
+    /// out-of-range ids.
+    pub fn component_cells(&self, id: u32) -> Option<&Region> {
+        self.components
+            .get(id as usize)
+            .and_then(|comp| comp.as_ref())
+            .map(|comp| &comp.cells)
+    }
+
+    /// Borrowed word-packed minimum polygon of live component `id` — the
+    /// no-clone alternative to [`polygons`](Self::polygons) for readers
+    /// (like the reroute index) that only need to iterate or test
+    /// membership.
+    pub fn component_polygon(&self, id: u32) -> Option<&BitGrid> {
+        self.components
+            .get(id as usize)
+            .and_then(|comp| comp.as_ref())
+            .map(|comp| &comp.polygon)
+    }
+
     fn inject(&mut self, c: Coord) -> StatusDelta {
         let mut delta = StatusDelta::new();
         if !self.mesh.contains(c) || self.faults.is_faulty(c) {
@@ -942,5 +995,55 @@ mod tests {
         assert_eq!(s.events, 4);
         assert_eq!(s.injects, 1);
         assert_eq!(s.repairs, 1);
+    }
+
+    #[test]
+    fn delta_batch_equals_coalesced_apply_all() {
+        let mesh = Mesh2D::square(8);
+        let events = vec![
+            FaultEvent::Inject(Coord::new(2, 2)),
+            FaultEvent::Inject(Coord::new(3, 3)),
+            FaultEvent::Inject(Coord::new(2, 3)),
+            FaultEvent::Repair(Coord::new(3, 3)),
+        ];
+        let mut a = IncrementalEngine::new(mesh);
+        let mut b = IncrementalEngine::new(mesh);
+        let batched = a.delta_batch(events.clone());
+        let concatenated = b.apply_all(events);
+        assert_eq!(batched.changes(), concatenated.coalesced().changes());
+        // Self-cancelling churn ((3,3) injected then repaired with no net
+        // polygon effect on itself) never names the node twice.
+        let named: Vec<Coord> = batched.changes().iter().map(|&(c, _, _)| c).collect();
+        let mut deduped = named.clone();
+        deduped.dedup();
+        assert_eq!(named, deduped);
+    }
+
+    #[test]
+    fn component_accessors_borrow_live_state() {
+        let mesh = Mesh2D::square(9);
+        let mut engine = IncrementalEngine::new(mesh);
+        engine.apply_all(
+            [(1, 1), (2, 2), (6, 6), (6, 7)].map(|(x, y)| FaultEvent::Inject(Coord::new(x, y))),
+        );
+        let ids: Vec<u32> = engine.component_ids().collect();
+        assert_eq!(ids.len(), engine.component_count());
+        // Every faulty node maps to a live id whose cells contain it, and
+        // the borrowed polygons equal the cloning accessor's output.
+        for c in [(1, 1), (2, 2), (6, 6), (6, 7)].map(|(x, y)| Coord::new(x, y)) {
+            let id = engine.component_at(c).expect("faulty node has an id");
+            assert!(ids.contains(&id));
+            assert!(engine.component_cells(id).unwrap().contains(c));
+        }
+        let mut borrowed: Vec<Region> = ids
+            .iter()
+            .map(|&id| engine.component_polygon(id).unwrap().to_region())
+            .collect();
+        borrowed.sort_by_key(|r| r.iter().next().unwrap());
+        assert_eq!(borrowed, engine.polygons());
+        // Healthy nodes and retired ids answer None.
+        assert_eq!(engine.component_at(Coord::new(0, 0)), None);
+        assert!(engine.component_cells(u32::MAX - 1).is_none());
+        assert!(engine.component_polygon(9999).is_none());
     }
 }

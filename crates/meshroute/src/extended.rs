@@ -15,12 +15,21 @@
 //! travel itself. Our boundary walk realises the rule by preferring, among
 //! shortest ways around the region, the side the rule names; when the rule
 //! says don't-care the shorter side is taken.
+//!
+//! Region state is factored into a [`RegionMap`] so that heavy callers (the
+//! traffic simulator, the incremental reroute index) derive it **once** per
+//! status map and share it across any number of routers and routes, instead
+//! of paying the excluded-component labelling on every router construction.
 
 use crate::ecube::ecube_next_hop;
 use crate::message::{MessageClass, VirtualChannel};
-use mesh2d::{Connectivity, Coord, Mesh2D, Region, StatusMap};
+use mesh2d::{Connectivity, Coord, Grid, Mesh2D, Region, StatusMap};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Sentinel in [`RegionMap`]'s id grid for nodes in no excluded region.
+const NO_REGION: u32 = u32::MAX;
 
 /// Why a route could not be produced.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -68,34 +77,142 @@ impl RoutePath {
     }
 }
 
+/// A route plus the state its computation consulted — which regions the
+/// message detoured around and whether the restricted boundary walk fell
+/// back to an unrestricted search. The incremental reroute layer uses this
+/// to build an exact dependency footprint per cached route.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedRoute {
+    /// The route itself.
+    pub path: RoutePath,
+    /// Indices (into [`RegionMap::regions`]) of every region detoured
+    /// around, in detour order; a region appears once per detour.
+    pub detoured: Vec<u32>,
+    /// True when at least one detour fell back to the unrestricted
+    /// all-enabled-nodes search (its result then depends on the whole
+    /// status map, not just the regions above).
+    pub used_fallback: bool,
+}
+
+/// The excluded regions of a status map, derived once and shared.
+///
+/// Holds the 4-connected components of the excluded (faulty or disabled)
+/// node set plus a dense id grid for O(1) point-to-region lookup. Derive it
+/// with [`RegionMap::from_status`] and hand it to any number of
+/// [`ExtendedECube::with_regions`] routers; the routers borrow it instead of
+/// re-deriving the labelling per construction.
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    regions: Vec<Region>,
+    region_id: Grid<u32>,
+}
+
+impl RegionMap {
+    /// Labels the excluded components of `status` (4-connected, the
+    /// adjacency a blocked e-cube hop experiences).
+    pub fn from_status(mesh: &Mesh2D, status: &StatusMap) -> Self {
+        let regions = status.excluded_region().components(Connectivity::Four);
+        Self::from_regions(mesh, regions)
+    }
+
+    /// Wraps pre-derived disjoint regions (for example maintained
+    /// incrementally) without re-labelling.
+    pub fn from_regions(mesh: &Mesh2D, regions: Vec<Region>) -> Self {
+        let mut region_id = Grid::for_mesh(mesh, NO_REGION);
+        for (idx, region) in regions.iter().enumerate() {
+            for c in region.iter() {
+                region_id.set(c, idx as u32);
+            }
+        }
+        RegionMap { regions, region_id }
+    }
+
+    /// The regions, in labelling order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region containing `c`, if any.
+    pub fn region_of(&self, c: Coord) -> Option<u32> {
+        match self.region_id.get(c) {
+            Some(&id) if id != NO_REGION => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The region with index `id` (as returned by [`Self::region_of`]).
+    pub fn region(&self, id: u32) -> &Region {
+        &self.regions[id as usize]
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when the status map excludes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
 /// The extended e-cube router for a given fault-model outcome.
 pub struct ExtendedECube<'a> {
     mesh: &'a Mesh2D,
     status: &'a StatusMap,
-    regions: Vec<Region>,
+    regions: Cow<'a, RegionMap>,
 }
 
 impl<'a> ExtendedECube<'a> {
-    /// Creates a router that avoids the excluded regions of `status`.
+    /// Creates a router that avoids the excluded regions of `status`,
+    /// deriving the region labelling itself. Prefer
+    /// [`Self::with_regions`] when routing repeatedly over one status map.
     pub fn new(mesh: &'a Mesh2D, status: &'a StatusMap) -> Self {
-        let regions = status.excluded_region().components(Connectivity::Four);
         ExtendedECube {
             mesh,
             status,
-            regions,
+            regions: Cow::Owned(RegionMap::from_status(mesh, status)),
         }
     }
 
-    fn enabled(&self, c: Coord) -> bool {
+    /// Creates a router that borrows a pre-derived [`RegionMap`] —
+    /// construction is O(1), so a fresh router per route is free.
+    ///
+    /// `regions` must describe exactly the excluded set of `status`
+    /// (as [`RegionMap::from_status`] produces); routes are meaningless
+    /// otherwise.
+    pub fn with_regions(mesh: &'a Mesh2D, status: &'a StatusMap, regions: &'a RegionMap) -> Self {
+        ExtendedECube {
+            mesh,
+            status,
+            regions: Cow::Borrowed(regions),
+        }
+    }
+
+    /// The region state this router routes around.
+    pub fn region_map(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// True when `c` is a usable (in-mesh, enabled) node.
+    pub fn enabled(&self, c: Coord) -> bool {
         self.mesh.contains(c) && !self.status.status(c).is_excluded()
     }
 
-    fn region_containing(&self, c: Coord) -> Option<&Region> {
-        self.regions.iter().find(|r| r.contains(c))
+    /// The excluded region blocking `c`, if any — the region a message
+    /// whose base next hop is `c` must travel around.
+    pub fn blocking_region(&self, c: Coord) -> Option<u32> {
+        self.regions.region_of(c)
     }
 
     /// Routes a message from `src` to `dst`.
     pub fn route(&self, src: Coord, dst: Coord) -> Result<RoutePath, RouteError> {
+        self.route_traced(src, dst).map(|traced| traced.path)
+    }
+
+    /// Routes a message and reports which state the computation consulted
+    /// (see [`TracedRoute`]).
+    pub fn route_traced(&self, src: Coord, dst: Coord) -> Result<TracedRoute, RouteError> {
         if !self.enabled(src) {
             return Err(RouteError::SourceExcluded);
         }
@@ -106,6 +223,8 @@ impl<'a> ExtendedECube<'a> {
         let mut hops = vec![src];
         let mut channels = Vec::new();
         let mut abnormal_hops = 0usize;
+        let mut detoured = Vec::new();
+        let mut used_fallback = false;
         let mut current = src;
         let step_budget = 16 * self.mesh.node_count();
 
@@ -124,11 +243,12 @@ impl<'a> ExtendedECube<'a> {
 
             // Abnormal mode: travel around the region blocking the next hop.
             let region = self
-                .region_containing(next)
-                .expect("blocked hop lies in an excluded region")
-                .clone();
-            let detour = self.detour_around(&region, current, dst, class)?;
-            for hop in detour.into_iter().skip(1) {
+                .blocking_region(next)
+                .expect("blocked hop lies in an excluded region");
+            let (walk, fell_back) = self.detour(region, current, dst, class)?;
+            detoured.push(region);
+            used_fallback |= fell_back;
+            for hop in walk.into_iter().skip(1) {
                 current = hop;
                 hops.push(current);
                 channels.push(class.virtual_channel());
@@ -136,28 +256,35 @@ impl<'a> ExtendedECube<'a> {
             }
         }
 
-        Ok(RoutePath {
-            hops,
-            abnormal_hops,
-            channels,
+        Ok(TracedRoute {
+            path: RoutePath {
+                hops,
+                abnormal_hops,
+                channels,
+            },
+            detoured,
+            used_fallback,
         })
     }
 
-    /// Finds the walk around `region` that ends at a node from which the base
-    /// e-cube route no longer touches this region.
+    /// Finds the walk around region `region` (an index from
+    /// [`Self::blocking_region`]) that ends at a node from which the base
+    /// e-cube route no longer touches this region. Returns the walk (first
+    /// element `from`) and whether the unrestricted fallback was used.
     ///
     /// The walk is restricted to enabled nodes adjacent (8-neighborhood) to
     /// the region — i.e. the message hugs the polygon boundary, as in the
     /// paper — and falls back to an unrestricted search only when the hugging
     /// walk cannot reach an exit (for example when the region leans against
     /// the mesh border).
-    fn detour_around(
+    pub fn detour(
         &self,
-        region: &Region,
+        region: u32,
         from: Coord,
         dst: Coord,
         class: MessageClass,
-    ) -> Result<Vec<Coord>, RouteError> {
+    ) -> Result<(Vec<Coord>, bool), RouteError> {
+        let region = self.regions.region(region);
         let halo: BTreeSet<Coord> = region
             .iter()
             .flat_map(|c| c.neighbors8())
@@ -167,11 +294,12 @@ impl<'a> ExtendedECube<'a> {
 
         let exit_ok = |c: Coord| c == dst || self.base_route_clears_region(c, dst, region);
         if let Some(path) = self.bfs_path(&halo, from, &exit_ok, Some((class, dst))) {
-            return Ok(path);
+            return Ok((path, false));
         }
         // Fall back: search through all enabled nodes.
         let all: BTreeSet<Coord> = self.mesh.nodes().filter(|c| self.enabled(*c)).collect();
         self.bfs_path(&all, from, &exit_ok, None)
+            .map(|path| (path, true))
             .ok_or(RouteError::Unreachable)
     }
 
@@ -313,6 +441,56 @@ mod tests {
         // The counterclockwise rule sends the message below the region,
         // through row 2, exactly as in the figure.
         assert!(path.hops.contains(&Coord::new(5, 2)) || path.hops.contains(&Coord::new(4, 2)));
+    }
+
+    #[test]
+    fn borrowed_region_map_routes_identically() {
+        let mesh = Mesh2D::square(12);
+        let status = status_with_faults(&mesh, &[(4, 4), (5, 4), (4, 5), (8, 2), (8, 3)]);
+        let regions = RegionMap::from_status(&mesh, &status);
+        let owned = ExtendedECube::new(&mesh, &status);
+        let borrowed = ExtendedECube::with_regions(&mesh, &status, &regions);
+        for src in mesh.nodes().step_by(11) {
+            for dst in mesh.nodes().step_by(13) {
+                if src == dst {
+                    continue;
+                }
+                assert_eq!(owned.route(src, dst), borrowed.route(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn traced_route_names_the_detoured_region() {
+        let mesh = Mesh2D::square(8);
+        let status = status_with_faults(&mesh, &[(4, 3), (4, 4)]);
+        let router = ExtendedECube::new(&mesh, &status);
+        let traced = router
+            .route_traced(Coord::new(1, 3), Coord::new(7, 3))
+            .unwrap();
+        assert!(!traced.detoured.is_empty());
+        assert!(!traced.used_fallback);
+        let region = router.region_map().region(traced.detoured[0]);
+        assert!(region.contains(Coord::new(4, 3)));
+        // And a straight route consults no region at all.
+        let straight = router
+            .route_traced(Coord::new(0, 0), Coord::new(2, 1))
+            .unwrap();
+        assert!(straight.detoured.is_empty());
+    }
+
+    #[test]
+    fn region_map_point_lookup_matches_membership() {
+        let mesh = Mesh2D::square(9);
+        let status = status_with_faults(&mesh, &[(2, 2), (2, 3), (6, 6)]);
+        let map = RegionMap::from_status(&mesh, &status);
+        assert_eq!(map.len(), 2);
+        for c in mesh.nodes() {
+            match map.region_of(c) {
+                Some(id) => assert!(map.region(id).contains(c)),
+                None => assert!(map.regions().iter().all(|r| !r.contains(c))),
+            }
+        }
     }
 
     #[test]

@@ -14,9 +14,18 @@
 //!   rules) in the "abnormal" mode until the region no longer affects them;
 //! * [`deadlock`] — the channel dependency graph built from a set of routes
 //!   and its acyclicity check (the empirical deadlock-freedom argument);
+//! * [`sample`] — the shared, deterministic source/destination pair sampler
+//!   ([`PairSample`]) injected into experiments, benches and the traffic
+//!   simulator's reachable-pair probe, so all layers measure one pair
+//!   population;
 //! * [`simulate`] — batch routing experiments (delivery rate, path stretch,
 //!   abnormal hops) used by the examples and the ablation benchmark that
 //!   compares routing over FB regions against routing over MFP regions.
+//!
+//! Region state is reusable: derive a [`RegionMap`] once per status map and
+//! construct any number of [`ExtendedECube::with_regions`] routers over it —
+//! the `mocp_traffic` simulator routes millions of messages this way without
+//! re-labelling excluded components per route.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,10 +34,12 @@ pub mod deadlock;
 pub mod ecube;
 pub mod extended;
 pub mod message;
+pub mod sample;
 pub mod simulate;
 
 pub use deadlock::ChannelDependencyGraph;
-pub use ecube::ecube_route;
-pub use extended::{ExtendedECube, RouteError, RoutePath};
+pub use ecube::{ecube_next_hop, ecube_route};
+pub use extended::{ExtendedECube, RegionMap, RouteError, RoutePath, TracedRoute};
 pub use message::{MessageClass, VirtualChannel};
+pub use sample::PairSample;
 pub use simulate::{RoutingExperiment, RoutingStats};

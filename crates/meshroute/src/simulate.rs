@@ -9,7 +9,8 @@
 
 use crate::deadlock::ChannelDependencyGraph;
 use crate::extended::{ExtendedECube, RouteError};
-use mesh2d::{Coord, Mesh2D, StatusMap};
+use crate::sample::PairSample;
+use mesh2d::{Mesh2D, StatusMap};
 use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics of one routing experiment.
@@ -47,26 +48,43 @@ impl RoutingStats {
 pub struct RoutingExperiment<'a> {
     mesh: &'a Mesh2D,
     status: &'a StatusMap,
-    /// Sampling stride: every `stride`-th node (row-major) is used as a
-    /// source and as a destination. Stride 1 is all-pairs — quadratic, use
-    /// only on small meshes.
-    pub stride: usize,
+    sample: PairSample,
 }
 
 impl<'a> RoutingExperiment<'a> {
-    /// Creates an experiment with the given sampling stride.
+    /// Creates an experiment sampling every `stride`-th node (row-major) as
+    /// both source and destination. Stride 1 is all-pairs — quadratic, use
+    /// only on small meshes.
     pub fn new(mesh: &'a Mesh2D, status: &'a StatusMap, stride: usize) -> Self {
+        Self::with_sample(mesh, status, PairSample::strided(mesh, stride))
+    }
+
+    /// Creates an experiment over an injected pair sample, so different
+    /// layers (traffic probes, ablation benches) measure one shared pair
+    /// population.
+    pub fn with_sample(mesh: &'a Mesh2D, status: &'a StatusMap, sample: PairSample) -> Self {
         RoutingExperiment {
             mesh,
             status,
-            stride: stride.max(1),
+            sample,
         }
+    }
+
+    /// The pair sample this experiment routes.
+    pub fn sample(&self) -> &PairSample {
+        &self.sample
     }
 
     /// Routes every sampled source/destination pair and aggregates the stats.
     pub fn run(&self) -> RoutingStats {
         let router = ExtendedECube::new(self.mesh, self.status);
-        let samples: Vec<Coord> = self.mesh.nodes().step_by(self.stride).collect();
+        self.run_with(&router)
+    }
+
+    /// Like [`Self::run`], but over a caller-provided router — use with
+    /// [`ExtendedECube::with_regions`] to amortise region derivation across
+    /// experiments.
+    pub fn run_with(&self, router: &ExtendedECube<'_>) -> RoutingStats {
         let mut stats = RoutingStats {
             deadlock_free: true,
             ..RoutingStats::default()
@@ -74,25 +92,20 @@ impl<'a> RoutingExperiment<'a> {
         let mut total_stretch = 0.0;
         let mut total_abnormal = 0usize;
         let mut cdg = ChannelDependencyGraph::new();
-        for &src in &samples {
-            for &dst in &samples {
-                if src == dst {
-                    continue;
+        for (src, dst) in self.sample.iter() {
+            stats.attempted += 1;
+            match router.route(src, dst) {
+                Ok(path) => {
+                    stats.delivered += 1;
+                    total_stretch += path.stretch();
+                    total_abnormal += path.abnormal_hops;
+                    cdg.add_route(&path);
                 }
-                stats.attempted += 1;
-                match router.route(src, dst) {
-                    Ok(path) => {
-                        stats.delivered += 1;
-                        total_stretch += path.stretch();
-                        total_abnormal += path.abnormal_hops;
-                        cdg.add_route(&path);
-                    }
-                    Err(RouteError::SourceExcluded) | Err(RouteError::DestinationExcluded) => {
-                        stats.endpoint_excluded += 1;
-                    }
-                    Err(RouteError::Unreachable) => {
-                        stats.unreachable += 1;
-                    }
+                Err(RouteError::SourceExcluded) | Err(RouteError::DestinationExcluded) => {
+                    stats.endpoint_excluded += 1;
+                }
+                Err(RouteError::Unreachable) => {
+                    stats.unreachable += 1;
                 }
             }
         }
@@ -108,7 +121,7 @@ impl<'a> RoutingExperiment<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mesh2d::{FaultSet, NodeStatus, Region};
+    use mesh2d::{Coord, FaultSet, NodeStatus, Region};
 
     #[test]
     fn fault_free_mesh_delivers_everything_minimally() {

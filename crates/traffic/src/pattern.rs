@@ -1,0 +1,195 @@
+//! Seeded, deterministic traffic pattern generators.
+//!
+//! A [`TrafficPattern`] is a stream of `(source, destination)` pairs drawn
+//! from one seeded generator: the same seed always produces the same
+//! message population, on any thread count, which is what makes the
+//! simulator's CSV byte-identical across parallel sweeps. The three
+//! classic mesh workloads are provided:
+//!
+//! * [`Uniform`] — both endpoints uniformly random (the paper-benchmark
+//!   baseline; load spreads evenly, detours dominate latency);
+//! * [`Transpose`] — `(x, y)` sends to `(y, x)` (adversarial for
+//!   dimension-order routing: every message turns at the diagonal);
+//! * [`Hotspot`] — a configurable fraction of messages target one hot
+//!   node at the mesh centre (models a shared resource; exercises the
+//!   virtual-channel buffers and the round-robin arbitration).
+
+use mesh2d::{Coord, Mesh2D};
+use rand::{rngs::StdRng, Rng};
+
+/// A deterministic generator of message endpoints.
+///
+/// Implementations must be pure functions of `(mesh, rng)`: all randomness
+/// comes from the caller-seeded `rng`, so replaying the stream reproduces
+/// the exact message population.
+pub trait TrafficPattern: Send + Sync {
+    /// The pattern's stable name (CLI flag value and CSV column).
+    fn name(&self) -> &'static str;
+
+    /// Draws the endpoints of the next message. Source and destination are
+    /// always distinct in-mesh nodes (they may still be faulty or disabled
+    /// — the simulator accounts those as excluded endpoints).
+    fn pair(&self, mesh: &Mesh2D, rng: &mut StdRng) -> (Coord, Coord);
+}
+
+fn random_node(mesh: &Mesh2D, rng: &mut StdRng) -> Coord {
+    Coord::new(
+        rng.gen_range(0..mesh.width()),
+        rng.gen_range(0..mesh.height()),
+    )
+}
+
+/// Uniformly random source and destination.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Uniform;
+
+impl TrafficPattern for Uniform {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn pair(&self, mesh: &Mesh2D, rng: &mut StdRng) -> (Coord, Coord) {
+        assert!(mesh.node_count() >= 2, "mesh too small for traffic");
+        loop {
+            let src = random_node(mesh, rng);
+            let dst = random_node(mesh, rng);
+            if src != dst {
+                return (src, dst);
+            }
+        }
+    }
+}
+
+/// Matrix-transpose traffic: `(x, y)` sends to `(y, x)`.
+///
+/// On non-square meshes the destination is wrapped into bounds
+/// (`(y mod width, x mod height)`), which degenerates to the classic
+/// transpose on the square meshes the sweeps use. Diagonal sources (which
+/// would send to themselves) are redrawn.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Transpose;
+
+impl TrafficPattern for Transpose {
+    fn name(&self) -> &'static str {
+        "transpose"
+    }
+
+    fn pair(&self, mesh: &Mesh2D, rng: &mut StdRng) -> (Coord, Coord) {
+        assert!(mesh.node_count() >= 2, "mesh too small for traffic");
+        loop {
+            let src = random_node(mesh, rng);
+            let dst = Coord::new(src.y % mesh.width(), src.x % mesh.height());
+            if src != dst {
+                return (src, dst);
+            }
+        }
+    }
+}
+
+/// Hotspot traffic: a fixed percentage of messages target the mesh-centre
+/// node, the rest are uniform.
+#[derive(Clone, Copy, Debug)]
+pub struct Hotspot {
+    /// Percent (0..=100) of messages whose destination is the hot node.
+    pub percent: u32,
+}
+
+impl Default for Hotspot {
+    fn default() -> Self {
+        Hotspot { percent: 10 }
+    }
+}
+
+impl Hotspot {
+    /// The hot node: the mesh centre.
+    pub fn hot_node(mesh: &Mesh2D) -> Coord {
+        Coord::new(mesh.width() / 2, mesh.height() / 2)
+    }
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn pair(&self, mesh: &Mesh2D, rng: &mut StdRng) -> (Coord, Coord) {
+        assert!(mesh.node_count() >= 2, "mesh too small for traffic");
+        let hot = Self::hot_node(mesh);
+        loop {
+            let src = random_node(mesh, rng);
+            let dst = if rng.gen_range(0..100u32) < self.percent {
+                hot
+            } else {
+                random_node(mesh, rng)
+            };
+            if src != dst {
+                return (src, dst);
+            }
+        }
+    }
+}
+
+/// The built-in pattern names, in canonical sweep order.
+pub const PATTERN_NAMES: [&str; 3] = ["uniform", "transpose", "hotspot"];
+
+/// Resolves a pattern by name (`uniform`, `transpose`, `hotspot`).
+pub fn pattern_by_name(name: &str) -> Option<Box<dyn TrafficPattern>> {
+    match name {
+        "uniform" => Some(Box::new(Uniform)),
+        "transpose" => Some(Box::new(Transpose)),
+        "hotspot" => Some(Box::new(Hotspot::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draw(pattern: &dyn TrafficPattern, seed: u64, n: usize) -> Vec<(Coord, Coord)> {
+        let mesh = Mesh2D::square(16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| pattern.pair(&mesh, &mut rng)).collect()
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        for name in PATTERN_NAMES {
+            let p = pattern_by_name(name).unwrap();
+            assert_eq!(p.name(), name);
+            assert_eq!(draw(p.as_ref(), 42, 200), draw(p.as_ref(), 42, 200));
+            assert_ne!(draw(p.as_ref(), 42, 200), draw(p.as_ref(), 43, 200));
+        }
+        assert!(pattern_by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn endpoints_are_distinct_in_mesh_nodes() {
+        let mesh = Mesh2D::square(16);
+        for name in PATTERN_NAMES {
+            let p = pattern_by_name(name).unwrap();
+            for (src, dst) in draw(p.as_ref(), 7, 500) {
+                assert!(mesh.contains(src) && mesh.contains(dst));
+                assert_ne!(src, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_sends_across_the_diagonal() {
+        for (src, dst) in draw(&Transpose, 9, 100) {
+            assert_eq!((dst.x, dst.y), (src.y, src.x));
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_destinations() {
+        let mesh = Mesh2D::square(16);
+        let hot = Hotspot::hot_node(&mesh);
+        let pairs = draw(&Hotspot { percent: 30 }, 11, 2000);
+        let hits = pairs.iter().filter(|&&(_, d)| d == hot).count();
+        // ~30% ± sampling noise.
+        assert!((400..=800).contains(&hits), "hot hits: {hits}");
+    }
+}

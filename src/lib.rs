@@ -32,3 +32,4 @@ pub use mocp_incremental;
 pub use mocp_obs;
 pub use mocp_serve;
 pub use mocp_topology;
+pub use mocp_traffic;

@@ -1,0 +1,37 @@
+//! The traffic sweep must be **byte-identical at every thread count**.
+//!
+//! `run_traffic` fans the (model × pattern × trial) cells out on the
+//! work-stealing pool, but each cell is a sequential cycle-driven
+//! simulation seeded from `base_seed + trial`, the parallel collect is
+//! ordered, and the CSV averaging folds trial-order f64s sequentially —
+//! so which worker runs which cell cannot change a byte of the output.
+//! The golden fixture additionally pins the simulator's physics: any
+//! change to injection, arbitration or routing order shows up as a diff
+//! against `fixtures/traffic.csv`, not as a silent drift.
+
+use mocp::experiments::{render_traffic_csv, run_traffic, TrafficScenario};
+
+/// The exact sweep the golden fixture pins: two models, all three
+/// patterns, two trials on a 32×32 mesh with 12 random
+/// faults — the `TrafficScenario::quick` CI shape.
+fn traffic_csv() -> String {
+    let registry = mocp::mocp_core::standard_registry();
+    let result = run_traffic(&registry, &TrafficScenario::quick()).unwrap();
+    render_traffic_csv(&result)
+}
+
+#[test]
+fn traffic_csv_is_byte_identical_at_1_2_and_8_threads() {
+    let golden = include_str!("fixtures/traffic.csv");
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let csv = pool.install(traffic_csv);
+        assert_eq!(
+            csv, golden,
+            "traffic CSV diverged from the golden fixture at {threads} thread(s)"
+        );
+    }
+}
