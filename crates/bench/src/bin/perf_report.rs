@@ -9,7 +9,7 @@
 //!     --baseline old.json --out BENCH_6.json                     # with speedups
 //! ```
 //!
-//! Six workloads are timed, matching the repository's own definitions:
+//! Seven workloads are timed, matching the repository's own definitions:
 //!
 //! * `batch_sweep_2d_100x800` — the batch arm of the
 //!   `incremental_vs_batch` bench: CMFP (concave sections) reconstructed
@@ -32,7 +32,13 @@
 //!   (model × pattern) cell through FB and CMFP regions on a 512×512
 //!   mesh with 250 random faults, under all three patterns. The six
 //!   cells fan out on the measured pool, so this workload carries a
-//!   real scaling table.
+//!   real scaling table;
+//! * `serve_chaos_recovery` — the seeded chaos harness
+//!   (`experiments::run_chaos_workload`): the tenant streams ingested
+//!   through scheduled worker kills, WAL replay, supervision and lossy
+//!   live-reroute subscribers, verified against the sequential oracle —
+//!   the price of recovery, measured. Like the serve workload, timed
+//!   once (the service owns its threads).
 //!
 //! In full mode every workload is measured at 1, 2, 4 and 8 pool
 //! threads (the per-count timings land in each workload's `scaling`
@@ -553,6 +559,55 @@ fn main() {
                     .expect("traffic models and patterns resolve")
                     .cells
                     .len()
+            },
+        ));
+    }
+
+    // Workload 7: the chaos harness — ingestion through seeded worker
+    // kills, WAL replay and subscriber gap recovery, verified against
+    // sequential replay. The service owns its threads (first pool entry
+    // only), and every run must converge or the report aborts.
+    {
+        mocp_serve::chaos::install_quiet_panic_hook();
+        let (cfg, serve) = if quick {
+            (
+                experiments::ChaosWorkloadConfig::quick(),
+                mocp_serve::ServeConfig::default().with_workers(2),
+            )
+        } else {
+            (
+                experiments::ChaosWorkloadConfig::default(),
+                mocp_serve::ServeConfig::default().with_workers(4),
+            )
+        };
+        let plan = cfg.plan();
+        measurements.push(time_workload(
+            if quick {
+                "serve_chaos_quick"
+            } else {
+                "serve_chaos_recovery"
+            },
+            format!(
+                "chaos harness: {} tenants x {} events through {} scheduled worker kills, \
+                 {} lossy subscribers (capacity {}), verified against sequential replay \
+                 [{} ingest threads -> {} workers, seed {:#x}]",
+                cfg.workload.tenants,
+                cfg.workload.events_per_tenant,
+                plan.kills.len(),
+                cfg.subscribers,
+                cfg.subscriber_capacity,
+                cfg.workload.ingest_threads,
+                serve.workers,
+                cfg.workload.seed
+            ),
+            repeats,
+            &pools[..1],
+            show_metrics,
+            || {
+                let outcome = experiments::run_chaos_workload(&cfg, serve);
+                assert!(outcome.converged(), "chaos run diverged: {outcome:?}");
+                mocp_obs::gauge!("serve.chaos.replayed_events").set(outcome.replayed_events as i64);
+                outcome.events_submitted + outcome.replayed_events
             },
         ));
     }

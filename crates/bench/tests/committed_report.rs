@@ -1,26 +1,27 @@
-//! Pins the committed BENCH_9.json perf report: schema, workload set,
+//! Pins the committed BENCH_10.json perf report: schema, workload set,
 //! and the `--baseline` comparison path.
 //!
 //! The harness's `--baseline` flag extracts headline numbers from a
 //! previous report with [`bench::baseline_min_ms`]; running that same
 //! parser against the committed report both validates the file and
 //! exercises the comparison exactly as `perf_report --baseline
-//! BENCH_9.json` would.
+//! BENCH_10.json` would.
 
 use bench::baseline_min_ms;
 
-const FULL_WORKLOADS: [&str; 6] = [
+const FULL_WORKLOADS: [&str; 7] = [
     "batch_sweep_2d_100x800",
     "incremental_stream_512x20k",
     "paper_figures_2d",
     "paper_figures_3d",
     "serve_ingest_1k_tenants",
     "traffic_512sq",
+    "serve_chaos_recovery",
 ];
 
 fn committed_report() -> String {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
-    std::fs::read_to_string(path).expect("BENCH_9.json is committed at the repo root")
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    std::fs::read_to_string(path).expect("BENCH_10.json is committed at the repo root")
 }
 
 #[test]
@@ -28,7 +29,7 @@ fn committed_report_uses_the_current_schema() {
     let report = committed_report();
     assert!(
         report.contains("\"schema\": \"mocp-perf-report/3\""),
-        "BENCH_9.json must be regenerated with the current harness"
+        "BENCH_10.json must be regenerated with the current harness"
     );
     assert!(
         report.contains("\"mode\": \"full\""),
@@ -41,7 +42,7 @@ fn every_full_workload_is_usable_as_a_baseline() {
     let report = committed_report();
     for name in FULL_WORKLOADS {
         let min = baseline_min_ms(&report, name)
-            .unwrap_or_else(|| panic!("workload {name} missing from BENCH_9.json"));
+            .unwrap_or_else(|| panic!("workload {name} missing from BENCH_10.json"));
         assert!(
             min.is_finite() && min > 0.0,
             "{name}: headline min must be a positive duration, got {min}"
@@ -51,18 +52,18 @@ fn every_full_workload_is_usable_as_a_baseline() {
 
 #[test]
 fn committed_report_exercised_the_baseline_comparison() {
-    // BENCH_9.json was generated with `--baseline BENCH_8.json`, so the
-    // pre-existing workloads must carry comparison fields; the traffic
+    // BENCH_10.json was generated with `--baseline BENCH_9.json`, so the
+    // pre-existing workloads must carry comparison fields; the chaos
     // workload is new in this report and must not fabricate one.
     let report = committed_report();
     assert!(report.contains("\"baseline_min\""));
     assert!(report.contains("\"speedup\""));
-    let traffic_at = report
-        .find("\"traffic_512sq\"")
-        .expect("traffic workload present");
+    let chaos_at = report
+        .find("\"serve_chaos_recovery\"")
+        .expect("chaos workload present");
     assert!(
-        !report[traffic_at..].contains("\"speedup\""),
-        "the traffic workload had no baseline to compare against"
+        !report[chaos_at..].contains("\"speedup\""),
+        "the chaos workload had no baseline to compare against"
     );
 }
 
@@ -96,5 +97,21 @@ fn traffic_workload_scales_and_describes_its_cells() {
     assert!(
         traffic.contains("\"scaling\""),
         "the traffic cells fan out on the measured pool"
+    );
+}
+
+#[test]
+fn chaos_workload_describes_its_fault_plan() {
+    let report = committed_report();
+    let chaos = &report[report
+        .find("\"serve_chaos_recovery\"")
+        .expect("chaos workload present")..];
+    assert!(
+        chaos.contains("worker kills"),
+        "the chaos workload's detail names the fault plan"
+    );
+    assert!(
+        chaos.contains("sequential replay"),
+        "the chaos workload's detail states the verification oracle"
     );
 }

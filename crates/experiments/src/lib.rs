@@ -30,13 +30,18 @@
 //! inject/repair churn) that drives the multi-tenant monitoring
 //! service ([`mocp_serve`]) — from the `serve_workload` binary, the
 //! sequential-equivalence tests and the `serve_ingest_1k_tenants` perf
-//! workload.
+//! workload. The [`chaos_workload`] module runs the same streams against
+//! a service armed with a seeded fault plan — worker kills, WAL replay,
+//! lossy live-reroute subscribers — and verifies convergence back to the
+//! sequential oracle (the `serve_chaos` binary and the chaos property
+//! test).
 //! The Criterion benches in the `bench` crate reuse the same sweep code
 //! so the benchmarked work is exactly the reported work.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos_workload;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
@@ -47,6 +52,7 @@ pub mod sweep;
 pub mod table;
 pub mod traffic;
 
+pub use chaos_workload::{run_chaos_workload, ChaosOutcome, ChaosWorkloadConfig};
 pub use scenario::{
     paper_model_names, paper_model_names_3d, run_scenario, Metric, Scenario, ScenarioPoint,
     ScenarioResult,

@@ -316,7 +316,7 @@ fn issue_query(service: &MonitorService, tenant: TenantId, c: Coord, rotation: u
 }
 
 /// Compares one tenant's served state against sequential replay.
-fn tenant_matches_replay(
+pub(crate) fn tenant_matches_replay(
     cfg: &ServeWorkloadConfig,
     service: &MonitorService,
     tenant: TenantId,

@@ -306,6 +306,27 @@ impl StatusDelta {
         }
     }
 
+    /// The minimal delta turning `old` into `new`: one transition per
+    /// node whose status differs, in row-major order. Both maps must
+    /// cover the same mesh. This is the resynchronization primitive for
+    /// subscribers that missed deltas (a `seq` gap): diff the stale
+    /// mirror against a fresh snapshot and apply the result.
+    ///
+    /// # Panics
+    /// Panics if the two maps have different dimensions.
+    pub fn between(old: &StatusMap, new: &StatusMap) -> StatusDelta {
+        assert_eq!(
+            (old.width(), old.height()),
+            (new.width(), new.height()),
+            "StatusDelta::between requires same-sized maps"
+        );
+        let mut delta = StatusDelta::new();
+        for (c, &s) in new.grid.iter() {
+            delta.record(c, old.status(c), s);
+        }
+        delta
+    }
+
     /// Collapses the delta to at most one transition per node: the first
     /// recorded `old` paired with the last recorded `new`, in the order
     /// nodes first appeared. Nodes whose status returned to its starting
@@ -480,6 +501,28 @@ mod tests {
     #[test]
     fn coalescing_an_empty_delta_is_empty() {
         assert!(StatusDelta::new().coalesced().is_empty());
+    }
+
+    #[test]
+    fn between_diffs_two_maps_and_applying_converges() {
+        let mesh = Mesh2D::square(5);
+        let mut old = StatusMap::all_enabled(&mesh);
+        old.set(Coord::new(1, 1), NodeStatus::Faulty);
+        old.set(Coord::new(2, 2), NodeStatus::Disabled);
+        let mut new = StatusMap::all_enabled(&mesh);
+        new.set(Coord::new(2, 2), NodeStatus::Faulty);
+        new.set(Coord::new(4, 0), NodeStatus::Disabled);
+
+        let delta = StatusDelta::between(&old, &new);
+        // (1,1) reverts to Enabled, (2,2) escalates, (4,0) appears.
+        assert_eq!(delta.len(), 3);
+        for &(c, o, n) in delta.changes() {
+            assert_eq!(o, old.status(c));
+            assert_eq!(n, new.status(c));
+        }
+        delta.apply_to(&mut old);
+        assert_eq!(old, new);
+        assert!(StatusDelta::between(&new, &new).is_empty());
     }
 
     #[test]

@@ -39,6 +39,32 @@
 //! stream sequentially, no matter how many ingest threads interleaved
 //! their submissions.
 //!
+//! ## Fault tolerance
+//!
+//! The service survives its own failures the way the paper's meshes
+//! survive theirs:
+//!
+//! * every batch is appended to a per-tenant **write-ahead log** before
+//!   it is enqueued, so batches that die with a worker are replayed —
+//!   [`MonitorService::quiesce`] still means "every accepted event is
+//!   applied" across worker panics;
+//! * a **supervisor** thread detects worker deaths, fences the dead
+//!   worker, rebuilds mid-apply tenants (checkpoint + WAL replay),
+//!   catches up coherent ones, and respawns a replacement;
+//! * per-tenant **health** ([`TenantHealth`]) is surfaced through
+//!   queries; a rebuilding tenant serves its last coherent snapshot
+//!   instead of a half-applied engine, and poisoned locks are stripped,
+//!   never propagated;
+//! * [`MonitorService::ingest`] bounds backpressure with a deadline and
+//!   seeded decorrelated-jitter retries ([`RetryPolicy`]), returning
+//!   [`IngestError::Saturated`] instead of blocking forever;
+//!   [`MonitorService::quiesce_timeout`] bounds the drain barrier;
+//! * [`MonitorService::shutdown`] returns a [`ShutdownReport`] instead
+//!   of panicking when a worker died;
+//! * the [`chaos`] module drives all of it deterministically: seeded
+//!   kill plans, intake/recovery gates, and a quiet panic hook for
+//!   tests.
+//!
 //! ```
 //! use mesh2d::{Coord, FaultEvent, Mesh2D, NodeStatus};
 //! use mocp_serve::{MonitorService, ServeConfig};
@@ -58,11 +84,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 mod config;
 mod registry;
 mod service;
+mod supervisor;
+mod wal;
 
+pub use chaos::{ChaosControl, ChaosPlan, KillMode, KillSpec};
 pub use config::ServeConfig;
+pub use registry::TenantHealth;
 pub use service::{
-    MonitorService, ServiceStatsSnapshot, SubmitError, TenantCounts, TenantId, TenantUpdate,
+    IngestError, MonitorService, RetryPolicy, ServiceStatsSnapshot, ShutdownReport, StatusSnapshot,
+    SubmitError, TenantCounts, TenantId, TenantUpdate,
 };

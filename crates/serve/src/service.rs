@@ -1,17 +1,39 @@
-//! The monitoring service: ingestion front, worker threads, fan-out and
-//! point queries.
+//! The monitoring service: ingestion front, supervised worker threads,
+//! fan-out and point queries.
+//!
+//! # Fault tolerance
+//!
+//! Every batch is written to the per-tenant [`Wal`] *before* it is
+//! offered to a worker queue, so a worker death never loses accepted
+//! events. A dedicated supervisor thread watches for worker deaths
+//! (panics — including chaos-injected ones — are reported by a drop
+//! guard inside the worker), fences the dead worker (sender removed,
+//! epoch bumped so in-flight enqueue acknowledgements are rejected and
+//! resent), rebuilds or catches up every tenant the worker owned by WAL
+//! replay, and spawns a replacement. Queries keep working throughout:
+//! a tenant whose engine is coherent serves exact answers
+//! ([`TenantHealth::Degraded`]); a tenant caught mid-apply serves its
+//! last coherent snapshot ([`TenantHealth::Rebuilding`]) until replay
+//! completes. Poisoned locks are stripped, never propagated.
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use mesh2d::{Coord, FaultEvent, Mesh2D, NodeStatus, Region, StatusDelta};
+use crossbeam::channel::{self, Receiver, SendTimeoutError, Sender, TrySendError};
+use mesh2d::{Coord, FaultEvent, Mesh2D, NodeStatus, Region, StatusDelta, StatusMap};
 use mocp_incremental::IncrementalEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::chaos::{ChaosControl, ChaosPlan, KillMode, CHAOS_PANIC};
 use crate::config::ServeConfig;
-use crate::registry::{spread, ShardedRegistry, Tenant};
+use crate::registry::{spread, CoherentSnapshot, ShardedRegistry, Tenant, TenantHealth};
+use crate::supervisor;
+use crate::wal::Wal;
 
 /// Tenant identifier: one monitored mesh per id.
 pub type TenantId = u64;
@@ -47,6 +69,23 @@ pub struct TenantCounts {
     pub seq: u64,
 }
 
+/// A coherent point-in-time view of one tenant's per-node statuses,
+/// with the health it was served under. While the tenant is
+/// [`Rebuilding`](TenantHealth::Rebuilding) the snapshot is the last
+/// coherent state (stale but consistent); otherwise it is the live
+/// engine state.
+#[derive(Clone, Debug)]
+pub struct StatusSnapshot {
+    /// The tenant snapshotted.
+    pub tenant: TenantId,
+    /// Batch sequence number the statuses reflect.
+    pub seq: u64,
+    /// The tenant's health at capture time.
+    pub health: TenantHealth,
+    /// Per-node statuses.
+    pub status: StatusMap,
+}
+
 /// Why a submission was not accepted.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitError {
@@ -74,6 +113,124 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why a deadline-bounded [`MonitorService::ingest`] gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The tenant id is not registered.
+    UnknownTenant(TenantId),
+    /// The owning worker's queue stayed full past the retry policy's
+    /// deadline/retry budget. The batch was fully rolled back — nothing
+    /// is partially enqueued, and re-ingesting the same events later is
+    /// safe.
+    Saturated {
+        /// The tenant whose worker was saturated.
+        tenant: TenantId,
+        /// Bounded sends attempted before giving up.
+        retries: u32,
+    },
+    /// The service is shutting down and no longer accepts events.
+    Shutdown,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            IngestError::Saturated { tenant, retries } => write!(
+                f,
+                "tenant {tenant}'s worker stayed saturated through {retries} bounded retries"
+            ),
+            IngestError::Shutdown => f.write_str("service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Deadline/retry policy for [`MonitorService::ingest`]: bounded sends
+/// with decorrelated-jitter backoff, then a typed
+/// [`IngestError::Saturated`] instead of blocking forever.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total time budget across all attempts (default 250 ms).
+    pub deadline: Duration,
+    /// Bounded-send attempts after the first before giving up
+    /// (default 8).
+    pub max_retries: u32,
+    /// Initial/minimum backoff wait (default 500 µs).
+    pub base: Duration,
+    /// Maximum single backoff wait (default 20 ms).
+    pub cap: Duration,
+    /// Seed of the jitter RNG (mixed with the tenant id, so tenants
+    /// back off decorrelated even under one seed; default 0).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: Duration::from_millis(250),
+            max_retries: 8,
+            base: Duration::from_micros(500),
+            cap: Duration::from_millis(20),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy (250 ms deadline, 8 retries, 500 µs..20 ms
+    /// decorrelated-jitter backoff).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the total deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the minimum backoff wait.
+    pub fn with_base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the maximum backoff wait.
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What [`MonitorService::shutdown`] observed: faults survived and work
+/// replayed over the service's lifetime. Returned instead of panicking
+/// (a worker panic is the service's problem to absorb, not the
+/// caller's).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Worker threads that died by panic (chaos-injected or genuine).
+    pub panicked_workers: u64,
+    /// Events re-applied from the write-ahead log by recoveries
+    /// (supervisor restarts and the final shutdown sweep).
+    pub replayed_events: u64,
+    /// Replacement workers the supervisor spawned.
+    pub supervisor_restarts: u64,
+}
+
 /// A snapshot of the service-wide counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStatsSnapshot {
@@ -87,15 +244,30 @@ pub struct ServiceStatsSnapshot {
     pub updates_sent: u64,
     /// Updates dropped because a bounded subscriber was full.
     pub updates_dropped: u64,
+    /// Replacement workers spawned by the supervisor.
+    pub restarts: u64,
+    /// Events re-applied from the write-ahead log.
+    pub replayed_events: u64,
+    /// Bounded ingest sends that timed out and backed off.
+    pub ingest_retries: u64,
+    /// Ingest calls that gave up saturated.
+    pub ingest_saturated: u64,
+    /// Worker threads that died by panic.
+    pub panicked_workers: u64,
 }
 
 #[derive(Default)]
-struct ServiceStats {
-    batches: AtomicU64,
-    events: AtomicU64,
-    queries: AtomicU64,
-    updates_sent: AtomicU64,
-    updates_dropped: AtomicU64,
+pub(crate) struct ServiceStats {
+    pub batches: AtomicU64,
+    pub events: AtomicU64,
+    pub queries: AtomicU64,
+    pub updates_sent: AtomicU64,
+    pub updates_dropped: AtomicU64,
+    pub restarts: AtomicU64,
+    pub replayed_events: AtomicU64,
+    pub ingest_retries: AtomicU64,
+    pub ingest_saturated: AtomicU64,
+    pub panicked_workers: AtomicU64,
 }
 
 impl ServiceStats {
@@ -106,6 +278,11 @@ impl ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             updates_sent: self.updates_sent.load(Ordering::Relaxed),
             updates_dropped: self.updates_dropped.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            replayed_events: self.replayed_events.load(Ordering::Relaxed),
+            ingest_retries: self.ingest_retries.load(Ordering::Relaxed),
+            ingest_saturated: self.ingest_saturated.load(Ordering::Relaxed),
+            panicked_workers: self.panicked_workers.load(Ordering::Relaxed),
         }
     }
 }
@@ -114,27 +291,32 @@ impl ServiceStats {
 /// [`MonitorService::quiesce`]. A mutex-guarded pair (not two atomics):
 /// `quiesce` must observe `applied == submitted` consistently, and the
 /// ledger is touched once per *batch*, so the lock is off the per-event
-/// path.
+/// path. Poison is stripped: the ledger stays usable after a worker
+/// panic.
 #[derive(Default)]
-struct Ledger {
+pub(crate) struct Ledger {
     counts: Mutex<(u64, u64)>, // (submitted, applied)
     drained: Condvar,
 }
 
 impl Ledger {
+    fn lock(&self) -> std::sync::MutexGuard<'_, (u64, u64)> {
+        self.counts.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn add_submitted(&self, n: u64) {
-        self.counts.lock().expect("ledger poisoned").0 += n;
+        self.lock().0 += n;
     }
 
     /// Compensation for a submission the channel refused after the
     /// submitted count was already bumped.
     fn retract_submitted(&self, n: u64) {
-        self.counts.lock().expect("ledger poisoned").0 -= n;
+        self.lock().0 -= n;
         self.drained.notify_all();
     }
 
-    fn add_applied(&self, n: u64) {
-        let mut counts = self.counts.lock().expect("ledger poisoned");
+    pub(crate) fn add_applied(&self, n: u64) {
+        let mut counts = self.lock();
         counts.1 += n;
         if counts.1 >= counts.0 {
             self.drained.notify_all();
@@ -142,158 +324,424 @@ impl Ledger {
     }
 
     fn wait_drained(&self) {
-        let mut counts = self.counts.lock().expect("ledger poisoned");
+        let mut counts = self.lock();
         while counts.1 < counts.0 {
-            counts = self.drained.wait(counts).expect("ledger poisoned");
+            counts = self
+                .drained
+                .wait(counts)
+                .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Like [`wait_drained`](Self::wait_drained) with a bound: `false`
+    /// when the timeout elapsed first.
+    fn wait_drained_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut counts = self.lock();
+        while counts.1 < counts.0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            counts = self
+                .drained
+                .wait_timeout(counts, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        true
     }
 }
 
 /// One queued unit of ingestion: a tenant's events, applied atomically
 /// under the tenant's shard lock and fanned out as one coalesced update.
-struct Batch {
+/// Carries its WAL ticket — the tenant's absolute event and batch
+/// counts at append — so application is idempotent under resends.
+#[derive(Clone)]
+pub(crate) struct Batch {
     tenant: TenantId,
     events: Vec<FaultEvent>,
+    /// Tenant's absolute event count after this batch (WAL ticket).
+    upto: u64,
+    /// Tenant's absolute batch count after this batch (WAL ticket).
+    batch_no: u64,
+}
+
+/// A worker death noticed by its [`DeathWatch`]. Whether the death was
+/// a panic is established authoritatively when the supervisor joins the
+/// corpse.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WorkerDeath {
+    pub worker: usize,
+}
+
+/// One worker's replaceable attachment points: the live queue sender
+/// (taken while the worker is down) and its join handle.
+#[derive(Default)]
+pub(crate) struct Slot {
+    pub sender: Mutex<Option<Sender<Batch>>>,
+    pub handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Everything shared between the front (submitters, queries), the
+/// workers and the supervisor.
+pub(crate) struct Core {
+    pub config: ServeConfig,
+    pub registry: ShardedRegistry,
+    pub wal: Wal,
+    pub ledger: Ledger,
+    pub stats: ServiceStats,
+    pub slots: Vec<Slot>,
+    /// Per-worker fencing epochs: bumped by the supervisor before it
+    /// reads recovery specs, checked by submitters before they record
+    /// an enqueue acknowledgement (see [`Wal::mark_enqueued_if`]).
+    pub epochs: Vec<AtomicU64>,
+    pub shutting_down: AtomicBool,
+    pub deaths: Mutex<VecDeque<WorkerDeath>>,
+    pub death_signal: Condvar,
+    pub chaos: ChaosControl,
+}
+
+impl Core {
+    pub fn worker_of(&self, tenant: TenantId) -> usize {
+        (spread(tenant) % self.slots.len() as u64) as usize
+    }
+
+    fn sender_of(&self, worker: usize) -> Option<Sender<Batch>> {
+        self.slots[worker]
+            .sender
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
 }
 
 /// The sharded multi-tenant monitoring service. See the [crate
-/// docs](crate) for the architecture.
+/// docs](crate) for the architecture and the [module
+/// docs](self) for the fault-tolerance design.
 ///
 /// Dropping the service shuts it down: queued batches are still drained
-/// (no submitted event is lost), then the workers exit and are joined.
-/// [`shutdown`](Self::shutdown) does the same explicitly.
+/// (no accepted event is lost, even across worker deaths — WAL replay
+/// covers batches that died with their worker), then the workers exit
+/// and are joined. [`shutdown`](Self::shutdown) does the same
+/// explicitly and returns what happened.
 pub struct MonitorService {
-    config: ServeConfig,
-    registry: Arc<ShardedRegistry>,
-    /// One bounded queue per worker; cleared to disconnect on shutdown.
-    queues: Vec<Sender<Batch>>,
-    workers: Vec<JoinHandle<()>>,
-    ledger: Arc<Ledger>,
-    stats: Arc<ServiceStats>,
+    core: Arc<Core>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl MonitorService {
     /// Starts the service: builds the shard stripes and spawns the
-    /// ingestion workers.
+    /// ingestion workers and their supervisor.
     pub fn start(config: ServeConfig) -> MonitorService {
-        let registry = Arc::new(ShardedRegistry::new(config.shards));
-        let ledger = Arc::new(Ledger::default());
-        let stats = Arc::new(ServiceStats::default());
-        let mut queues = Vec::with_capacity(config.workers.max(1));
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for w in 0..config.workers.max(1) {
-            let (tx, rx) = channel::bounded::<Batch>(config.queue_capacity.max(1));
-            queues.push(tx);
-            let registry = Arc::clone(&registry);
-            let ledger = Arc::clone(&ledger);
-            let stats = Arc::clone(&stats);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("mocp-serve-{w}"))
-                    .spawn(move || worker_loop(&registry, &rx, &ledger, &stats))
-                    .expect("worker thread spawn cannot fail"),
-            );
-        }
-        MonitorService {
+        Self::start_with_chaos(config, ChaosPlan::none())
+    }
+
+    /// Starts the service with a [`ChaosPlan`] armed: workers consult
+    /// the plan on every dequeued batch and die at the scheduled points.
+    /// With the empty plan this is exactly [`start`](Self::start) (the
+    /// gates of [`chaos`](Self::chaos) work either way).
+    pub fn start_with_chaos(config: ServeConfig, plan: ChaosPlan) -> MonitorService {
+        let workers = config.workers.max(1);
+        let core = Arc::new(Core {
             config,
-            registry,
-            queues,
-            workers,
-            ledger,
-            stats,
+            registry: ShardedRegistry::new(config.shards),
+            wal: Wal::new(config.shards),
+            ledger: Ledger::default(),
+            stats: ServiceStats::default(),
+            slots: (0..workers).map(|_| Slot::default()).collect(),
+            epochs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            shutting_down: AtomicBool::new(false),
+            deaths: Mutex::new(VecDeque::new()),
+            death_signal: Condvar::new(),
+            chaos: ChaosControl::new(plan),
+        });
+        for w in 0..workers {
+            spawn_worker(&core, w);
+        }
+        let supervisor = supervisor::spawn(Arc::clone(&core));
+        MonitorService {
+            core,
+            supervisor: Some(supervisor),
         }
     }
 
     /// The configuration the service was started with.
     pub fn config(&self) -> &ServeConfig {
-        &self.config
+        &self.core.config
+    }
+
+    /// The live fault-injection surface: gates and counters (inert but
+    /// functional on plainly started services).
+    pub fn chaos(&self) -> &ChaosControl {
+        &self.core.chaos
     }
 
     /// Registers a fresh fault-free tenant mesh, using the configured
     /// centralized solution. Returns `false` (and changes nothing) when
     /// the id is already registered. Tenants are never removed.
     pub fn create_tenant(&self, tenant: TenantId, mesh: Mesh2D) -> bool {
-        let created = self.registry.insert(
+        // WAL entry first: a worker can touch the tenant the instant it
+        // is visible in the registry, and the WAL must already be there.
+        self.core.wal.register(tenant, mesh);
+        let created = self.core.registry.insert(
             tenant,
-            Tenant {
-                engine: IncrementalEngine::with_solution(mesh, self.config.solution),
-                seq: 0,
-                events_applied: 0,
-                subscribers: Vec::new(),
-            },
+            Tenant::new(IncrementalEngine::with_solution(
+                mesh,
+                self.core.config.solution,
+            )),
         );
         if created {
-            mocp_obs::gauge!("serve.tenants").set(self.registry.len() as i64);
+            mocp_obs::gauge!("serve.tenants").set(self.core.registry.len() as i64);
         }
         created
     }
 
     /// Number of registered tenants.
     pub fn tenant_count(&self) -> usize {
-        self.registry.len()
+        self.core.registry.len()
     }
 
     /// Submits a batch of events for `tenant`, blocking while the owning
-    /// worker's queue is full (backpressure). Events of one tenant are
+    /// worker's queue is full (backpressure) and riding out worker
+    /// deaths (the batch is resent to the replacement worker if its
+    /// acceptance could not be confirmed). Events of one tenant are
     /// applied in submission order as long as each tenant is fed from
     /// one thread at a time. An empty batch is a no-op.
     pub fn submit(&self, tenant: TenantId, events: Vec<FaultEvent>) -> Result<(), SubmitError> {
         if events.is_empty() {
             return Ok(());
         }
-        if !self.registry.contains(tenant) {
+        if !self.core.registry.contains(tenant) {
             return Err(SubmitError::UnknownTenant(tenant));
         }
+        let core = &self.core;
         let n = events.len() as u64;
         // Submitted is bumped before the send so `applied <= submitted`
-        // holds at every instant a worker could observe the batch.
-        self.ledger.add_submitted(n);
-        match self.queue_of(tenant).send(Batch { tenant, events }) {
-            Ok(()) => {
-                mocp_obs::counter!("serve.submitted").add(n);
-                Ok(())
+        // holds at every instant a worker could observe the batch; the
+        // WAL append precedes the send so no accepted event can be lost.
+        core.ledger.add_submitted(n);
+        let (upto, batch_no) = core.wal.append(tenant, &events);
+        let worker = core.worker_of(tenant);
+        loop {
+            if core.shutting_down.load(Ordering::SeqCst) {
+                core.wal.retract(tenant, n);
+                core.ledger.retract_submitted(n);
+                return Err(SubmitError::Shutdown);
             }
-            Err(_) => {
-                self.ledger.retract_submitted(n);
-                Err(SubmitError::Shutdown)
+            let epoch = core.epochs[worker].load(Ordering::SeqCst);
+            let Some(sender) = core.sender_of(worker) else {
+                // The worker is down and being replaced; wait it out.
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            };
+            let batch = Batch {
+                tenant,
+                events: events.clone(),
+                upto,
+                batch_no,
+            };
+            match sender.send(batch) {
+                Ok(())
+                    if core.wal.mark_enqueued_if(
+                        tenant,
+                        upto,
+                        batch_no,
+                        &core.epochs[worker],
+                        epoch,
+                    ) =>
+                {
+                    mocp_obs::counter!("serve.submitted").add(n);
+                    return Ok(());
+                }
+                // Epoch moved mid-send: the batch may sit in a dead
+                // queue, so resend to the replacement (idempotent —
+                // workers skip batches whose ticket is already applied).
+                Ok(()) => {}
+                // Queue died under us: the owning worker is being
+                // replaced.
+                Err(_) => std::thread::sleep(Duration::from_micros(200)),
             }
         }
     }
 
     /// Like [`submit`](Self::submit) but never blocks: a full worker
-    /// queue returns [`SubmitError::Backpressure`] and hands the events
-    /// back via the error (the batch is not partially enqueued).
+    /// queue (or one fenced off for recovery) returns
+    /// [`SubmitError::Backpressure`] with the batch fully rolled back —
+    /// nothing is partially enqueued and resubmitting later is safe.
     pub fn try_submit(&self, tenant: TenantId, events: Vec<FaultEvent>) -> Result<(), SubmitError> {
         if events.is_empty() {
             return Ok(());
         }
-        if !self.registry.contains(tenant) {
+        if !self.core.registry.contains(tenant) {
             return Err(SubmitError::UnknownTenant(tenant));
         }
+        let core = &self.core;
         let n = events.len() as u64;
-        self.ledger.add_submitted(n);
-        match self.queue_of(tenant).try_send(Batch { tenant, events }) {
-            Ok(()) => {
+        core.ledger.add_submitted(n);
+        let (upto, batch_no) = core.wal.append(tenant, &events);
+        let worker = core.worker_of(tenant);
+        let rollback = |err| {
+            core.wal.retract(tenant, n);
+            core.ledger.retract_submitted(n);
+            Err(err)
+        };
+        let epoch = core.epochs[worker].load(Ordering::SeqCst);
+        let Some(sender) = core.sender_of(worker) else {
+            mocp_obs::counter!("serve.backpressure").inc();
+            return rollback(SubmitError::Backpressure(tenant));
+        };
+        let batch = Batch {
+            tenant,
+            events: events.clone(),
+            upto,
+            batch_no,
+        };
+        match sender.try_send(batch) {
+            Ok(())
+                if core.wal.mark_enqueued_if(
+                    tenant,
+                    upto,
+                    batch_no,
+                    &core.epochs[worker],
+                    epoch,
+                ) =>
+            {
                 mocp_obs::counter!("serve.submitted").add(n);
                 Ok(())
             }
-            Err(TrySendError::Full(_)) => {
-                self.ledger.retract_submitted(n);
+            // Accepted by a queue that died mid-send: roll back (the
+            // unacknowledged batch is invisible to recovery) and report
+            // backpressure so the caller retries.
+            Ok(()) => {
                 mocp_obs::counter!("serve.backpressure").inc();
-                Err(SubmitError::Backpressure(tenant))
+                rollback(SubmitError::Backpressure(tenant))
+            }
+            Err(TrySendError::Full(_)) => {
+                mocp_obs::counter!("serve.backpressure").inc();
+                rollback(SubmitError::Backpressure(tenant))
             }
             Err(TrySendError::Disconnected(_)) => {
-                self.ledger.retract_submitted(n);
-                Err(SubmitError::Shutdown)
+                if core.shutting_down.load(Ordering::SeqCst) {
+                    rollback(SubmitError::Shutdown)
+                } else {
+                    mocp_obs::counter!("serve.backpressure").inc();
+                    rollback(SubmitError::Backpressure(tenant))
+                }
+            }
+        }
+    }
+
+    /// Deadline-bounded submission: like [`submit`](Self::submit) but a
+    /// persistently full queue makes bounded attempts with
+    /// decorrelated-jitter backoff (seeded — reproducible) and then
+    /// returns [`IngestError::Saturated`] with the batch fully rolled
+    /// back, instead of blocking forever.
+    pub fn ingest(
+        &self,
+        tenant: TenantId,
+        events: Vec<FaultEvent>,
+        policy: &RetryPolicy,
+    ) -> Result<(), IngestError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        if !self.core.registry.contains(tenant) {
+            return Err(IngestError::UnknownTenant(tenant));
+        }
+        let core = &self.core;
+        let n = events.len() as u64;
+        core.ledger.add_submitted(n);
+        let (upto, batch_no) = core.wal.append(tenant, &events);
+        let worker = core.worker_of(tenant);
+        let deadline = Instant::now() + policy.deadline;
+        let mut rng = StdRng::seed_from_u64(policy.seed ^ spread(tenant));
+        let mut wait = policy.base.max(Duration::from_nanos(1));
+        let mut retries = 0u32;
+        let saturate = |retries| {
+            core.wal.retract(tenant, n);
+            core.ledger.retract_submitted(n);
+            core.stats.ingest_saturated.fetch_add(1, Ordering::Relaxed);
+            mocp_obs::counter!("serve.ingest.saturated").inc();
+            Err(IngestError::Saturated { tenant, retries })
+        };
+        loop {
+            if core.shutting_down.load(Ordering::SeqCst) {
+                core.wal.retract(tenant, n);
+                core.ledger.retract_submitted(n);
+                return Err(IngestError::Shutdown);
+            }
+            let epoch = core.epochs[worker].load(Ordering::SeqCst);
+            let Some(sender) = core.sender_of(worker) else {
+                // Worker down; its replacement is the supervisor's job,
+                // bounded by our own deadline.
+                if Instant::now() >= deadline {
+                    return saturate(retries);
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            };
+            let batch = Batch {
+                tenant,
+                events: events.clone(),
+                upto,
+                batch_no,
+            };
+            // The backoff wait doubles as send time: waiting *inside*
+            // the bounded send reacts the instant a slot opens.
+            let attempt_deadline = deadline.min(Instant::now() + wait);
+            match sender.send_deadline(batch, attempt_deadline) {
+                Ok(())
+                    if core.wal.mark_enqueued_if(
+                        tenant,
+                        upto,
+                        batch_no,
+                        &core.epochs[worker],
+                        epoch,
+                    ) =>
+                {
+                    mocp_obs::counter!("serve.submitted").add(n);
+                    return Ok(());
+                }
+                // Worker replaced mid-send: resend (not a saturation).
+                Ok(()) => {}
+                Err(SendTimeoutError::Timeout(_)) => {
+                    retries += 1;
+                    core.stats.ingest_retries.fetch_add(1, Ordering::Relaxed);
+                    mocp_obs::counter!("serve.ingest.retries").inc();
+                    if retries > policy.max_retries || Instant::now() >= deadline {
+                        return saturate(retries);
+                    }
+                    // Decorrelated jitter: next wait is uniform in
+                    // [base, 3·previous), clamped to the cap.
+                    let base_ns = policy.base.as_nanos().max(1) as u64;
+                    let prev_ns = wait.as_nanos() as u64;
+                    let hi = prev_ns.saturating_mul(3).max(base_ns + 1);
+                    wait = Duration::from_nanos(rng.gen_range(base_ns..hi)).min(policy.cap);
+                }
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    if Instant::now() >= deadline {
+                        return saturate(retries);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
             }
         }
     }
 
     /// Blocks until every event submitted so far has been applied. New
     /// submissions racing with the wait extend it; with submissions
-    /// stopped this is the "all queues drained" barrier.
+    /// stopped this is the "all queues drained" barrier. Worker deaths
+    /// extend the wait only until recovery replays the lost events.
     pub fn quiesce(&self) {
-        self.ledger.wait_drained();
+        self.core.ledger.wait_drained();
+    }
+
+    /// Like [`quiesce`](Self::quiesce) with a bound: `true` when the
+    /// service drained, `false` when `timeout` elapsed first (events
+    /// still in flight — the service keeps working on them).
+    pub fn quiesce_timeout(&self, timeout: Duration) -> bool {
+        self.core.ledger.wait_drained_timeout(timeout)
     }
 
     /// Registers a subscriber for `tenant`'s coalesced updates and
@@ -301,9 +749,10 @@ impl MonitorService {
     /// unbounded channel (never misses an update); `Some(n)` bounds the
     /// buffer at `n` updates and *drops* updates while the subscriber is
     /// full — the worker never stalls on a slow consumer, and `seq` gaps
-    /// tell the subscriber what it missed. `None` is returned for
-    /// unknown tenants. Dropping the receiver unsubscribes (lazily, at
-    /// the next fan-out).
+    /// tell the subscriber what it missed (see
+    /// [`LiveReroute`](../mocp_traffic) consumers for gap recovery).
+    /// `None` is returned for unknown tenants. Dropping the receiver
+    /// unsubscribes (lazily, at the next fan-out).
     pub fn subscribe(
         &self,
         tenant: TenantId,
@@ -313,84 +762,165 @@ impl MonitorService {
             Some(n) => channel::bounded(n),
             None => channel::unbounded(),
         };
-        self.registry
+        self.core
+            .registry
             .with(tenant, move |state| state.subscribers.push(tx))
             .map(|()| rx)
     }
 
+    /// The tenant's current serving health; `None` for unknown tenants.
+    pub fn health(&self, tenant: TenantId) -> Option<TenantHealth> {
+        self.core.registry.with(tenant, |state| state.health)
+    }
+
+    /// A coherent per-node status snapshot of one tenant — the live
+    /// state when the tenant is healthy, the last coherent snapshot
+    /// while it is rebuilding; `None` for unknown tenants. This is the
+    /// resynchronization primitive for subscribers that detected a
+    /// `seq` gap.
+    pub fn status_snapshot(&self, tenant: TenantId) -> Option<StatusSnapshot> {
+        self.core.registry.with(tenant, |state| match state.health {
+            TenantHealth::Rebuilding => StatusSnapshot {
+                tenant,
+                seq: state.snapshot.seq,
+                health: state.health,
+                status: state.snapshot.status.clone(),
+            },
+            _ => StatusSnapshot {
+                tenant,
+                seq: state.seq,
+                health: state.health,
+                status: state.engine.status().clone(),
+            },
+        })
+    }
+
     /// The maintained status of one node: `None` for unknown tenants and
-    /// out-of-mesh coordinates.
+    /// out-of-mesh coordinates. Served from the last coherent snapshot
+    /// while the tenant is rebuilding.
     pub fn node_status(&self, tenant: TenantId, c: Coord) -> Option<NodeStatus> {
-        self.query(tenant, |engine| engine.status().get(c))
-            .flatten()
+        self.query_tenant(tenant, |state| match state.health {
+            TenantHealth::Rebuilding => state.snapshot.status.get(c),
+            _ => state.engine.status().get(c),
+        })
+        .flatten()
     }
 
     /// The maintained minimum polygon containing the node, if any (see
     /// [`IncrementalEngine::region_of`]): `None` for unknown tenants,
-    /// out-of-mesh coordinates and enabled nodes.
+    /// out-of-mesh coordinates and enabled nodes. Served from the last
+    /// coherent snapshot while the tenant is rebuilding.
     pub fn region_of(&self, tenant: TenantId, c: Coord) -> Option<Region> {
-        self.query(tenant, |engine| engine.region_of(c)).flatten()
+        self.query_tenant(tenant, |state| match state.health {
+            TenantHealth::Rebuilding => state
+                .snapshot
+                .polygons
+                .iter()
+                .find(|region| region.contains(c))
+                .cloned(),
+            _ => state.engine.region_of(c),
+        })
+        .flatten()
     }
 
-    /// O(1) counters for one tenant; `None` for unknown tenants.
+    /// O(1) counters for one tenant; `None` for unknown tenants. Served
+    /// from the last coherent snapshot while the tenant is rebuilding.
     pub fn counts(&self, tenant: TenantId) -> Option<TenantCounts> {
-        self.query_tenant(tenant, |state| TenantCounts {
-            faulty: state.engine.faulty_count(),
-            disabled_nonfaulty: state.engine.disabled_nonfaulty(),
-            components: state.engine.component_count(),
-            events_applied: state.events_applied,
-            seq: state.seq,
+        self.query_tenant(tenant, |state| match state.health {
+            TenantHealth::Rebuilding => TenantCounts {
+                faulty: state.snapshot.faulty,
+                disabled_nonfaulty: state.snapshot.disabled_nonfaulty,
+                components: state.snapshot.polygons.len(),
+                events_applied: state.snapshot.events_applied,
+                seq: state.snapshot.seq,
+            },
+            _ => TenantCounts {
+                faulty: state.engine.faulty_count(),
+                disabled_nonfaulty: state.engine.disabled_nonfaulty(),
+                components: state.engine.component_count(),
+                events_applied: state.events_applied,
+                seq: state.seq,
+            },
         })
     }
 
     /// A snapshot of every maintained polygon of one tenant, in
-    /// deterministic component order; `None` for unknown tenants.
+    /// deterministic component order; `None` for unknown tenants. Served
+    /// from the last coherent snapshot while the tenant is rebuilding.
     pub fn polygons(&self, tenant: TenantId) -> Option<Vec<Region>> {
-        self.query(tenant, |engine| engine.polygons())
+        self.query_tenant(tenant, |state| match state.health {
+            TenantHealth::Rebuilding => state.snapshot.polygons.clone(),
+            _ => state.engine.polygons(),
+        })
     }
 
     /// Service-wide counters.
     pub fn stats(&self) -> ServiceStatsSnapshot {
-        self.stats.snapshot()
+        self.core.stats.snapshot()
     }
 
     /// Shuts the service down: disconnects the ingestion queues, lets
-    /// the workers drain what was already queued, and joins them.
-    pub fn shutdown(mut self) {
-        self.shutdown_in_place();
+    /// the workers drain what was already queued, joins everything, and
+    /// replays whatever a late worker death left behind. Never panics —
+    /// worker panics are counted in the returned [`ShutdownReport`].
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shutdown_in_place()
     }
 
-    fn shutdown_in_place(&mut self) {
-        self.queues.clear();
-        let mut worker_panicked = false;
-        for handle in self.workers.drain(..) {
-            worker_panicked |= handle.join().is_err();
+    fn shutdown_in_place(&mut self) -> ShutdownReport {
+        let core = &self.core;
+        core.shutting_down.store(true, Ordering::SeqCst);
+        // Wake everyone parked on a gate or the death signal; they
+        // re-check the flag and fall through.
+        core.chaos.notify_shutdown();
+        core.death_signal.notify_all();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
-        if worker_panicked && !std::thread::panicking() {
-            panic!("a mocp-serve worker thread panicked");
+        // Disconnect the queues: workers drain what is queued and exit.
+        for slot in &core.slots {
+            slot.sender
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+        }
+        for slot in &core.slots {
+            let handle = slot
+                .handle
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(handle) = handle {
+                if handle.join().is_err() {
+                    core.stats.panicked_workers.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Final sweep: a death during the drain had no supervisor left
+        // to recover it — replay whatever the WAL still holds.
+        for tenant in core.registry.ids() {
+            supervisor::recover_tenant(core, tenant);
+        }
+        let stats = core.stats.snapshot();
+        ShutdownReport {
+            panicked_workers: stats.panicked_workers,
+            replayed_events: stats.replayed_events,
+            supervisor_restarts: stats.restarts,
         }
     }
 
-    fn queue_of(&self, tenant: TenantId) -> &Sender<Batch> {
-        &self.queues[(spread(tenant) % self.queues.len() as u64) as usize]
-    }
-
-    /// Runs one timed point query against a tenant's engine.
-    fn query<R>(&self, tenant: TenantId, f: impl FnOnce(&IncrementalEngine) -> R) -> Option<R> {
-        self.query_tenant(tenant, |state| f(&state.engine))
-    }
-
+    /// Runs one timed point query against a tenant's state.
     fn query_tenant<R>(&self, tenant: TenantId, f: impl FnOnce(&mut Tenant) -> R) -> Option<R> {
         let _span = mocp_obs::span!("serve.query");
-        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.core.stats.queries.fetch_add(1, Ordering::Relaxed);
         mocp_obs::counter!("serve.queries").inc();
-        self.registry.with(tenant, f)
+        self.core.registry.with(tenant, f)
     }
 }
 
 impl Drop for MonitorService {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
+        if !self.core.shutting_down.load(Ordering::SeqCst) {
             self.shutdown_in_place();
         }
     }
@@ -399,56 +929,154 @@ impl Drop for MonitorService {
 impl fmt::Debug for MonitorService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MonitorService")
-            .field("config", &self.config)
-            .field("tenants", &self.registry.len())
-            .field("workers", &self.workers.len())
-            .field("stats", &self.stats.snapshot())
+            .field("config", &self.core.config)
+            .field("tenants", &self.core.registry.len())
+            .field("workers", &self.core.slots.len())
+            .field("stats", &self.core.stats.snapshot())
             .finish()
+    }
+}
+
+/// Spawns (or respawns) worker `w`: fresh bounded queue, thread, then
+/// the sender is published last so no batch can race the handle into
+/// the slot.
+pub(crate) fn spawn_worker(core: &Arc<Core>, w: usize) {
+    let (tx, rx) = channel::bounded::<Batch>(core.config.queue_capacity.max(1));
+    let handle = std::thread::Builder::new()
+        .name(format!("mocp-serve-{w}"))
+        .spawn({
+            let core = Arc::clone(core);
+            move || worker_loop(&core, w, rx)
+        })
+        .expect("worker thread spawn cannot fail");
+    *core.slots[w]
+        .handle
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(handle);
+    *core.slots[w]
+        .sender
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(tx);
+}
+
+/// Reports the enclosing worker's death to the supervisor from its
+/// `Drop` — the one hook that still runs when the worker panics.
+struct DeathWatch<'a> {
+    core: &'a Core,
+    worker: usize,
+}
+
+impl Drop for DeathWatch<'_> {
+    fn drop(&mut self) {
+        let panicked = std::thread::panicking();
+        if !panicked && self.core.shutting_down.load(Ordering::SeqCst) {
+            return; // orderly exit at shutdown, not a death
+        }
+        let mut deaths = self
+            .core
+            .deaths
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        deaths.push_back(WorkerDeath {
+            worker: self.worker,
+        });
+        drop(deaths);
+        self.core.death_signal.notify_all();
     }
 }
 
 /// One worker: drain the queue, apply each batch under its tenant's
 /// shard lock, fan out the coalesced delta. Exits when the service
-/// disconnects the queue *and* every queued batch has been processed.
-fn worker_loop(
-    registry: &ShardedRegistry,
-    queue: &Receiver<Batch>,
-    ledger: &Ledger,
-    stats: &ServiceStats,
-) {
+/// disconnects the queue *and* every queued batch has been processed;
+/// a panic (chaos-injected or genuine) is reported by the
+/// [`DeathWatch`], which drops before the queue receiver.
+fn worker_loop(core: &Core, worker: usize, queue: Receiver<Batch>) {
+    let _watch = DeathWatch { core, worker };
     while let Ok(batch) = queue.recv() {
-        let n = batch.events.len() as u64;
-        let (sent, dropped) = {
-            let _span = mocp_obs::span!("serve.apply");
-            registry
-                .with(batch.tenant, |state| {
-                    let mut delta = StatusDelta::new();
-                    for event in batch.events {
-                        delta.extend(state.engine.apply(event));
-                    }
-                    state.seq += 1;
-                    state.events_applied += n;
-                    fan_out(state, batch.tenant, delta)
-                })
-                // Unknown tenants cannot happen today (submit checks and
-                // tenants are never removed), but losing that race must
-                // not wedge the ledger.
-                .unwrap_or((0, 0))
-        };
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats.events.fetch_add(n, Ordering::Relaxed);
-        stats.updates_sent.fetch_add(sent, Ordering::Relaxed);
-        stats.updates_dropped.fetch_add(dropped, Ordering::Relaxed);
-        mocp_obs::counter!("serve.batches").inc();
-        mocp_obs::counter!("serve.events").add(n);
-        ledger.add_applied(n);
+        let mut panic_after = None;
+        if let Some(mode) = core.chaos.on_dequeue(&core.shutting_down) {
+            match mode {
+                KillMode::Clean => {
+                    std::panic::panic_any(format!("{CHAOS_PANIC}: clean kill of worker {worker}"))
+                }
+                KillMode::MidApply { after_events } => {
+                    // Clamp so the kill always fires inside this batch.
+                    panic_after = Some(after_events.min(batch.events.len().saturating_sub(1)));
+                }
+            }
+        }
+        apply_batch(core, batch, panic_after);
     }
+}
+
+/// Applies one batch to its tenant under the shard lock. A duplicate
+/// resend (the WAL ticket shows the batch already applied) is skipped
+/// entirely.
+///
+/// Health dips to `Rebuilding` for the duration of the mutation and
+/// back to `Live` before the lock is released: invisible in normal
+/// operation, but a panic mid-apply (chaos or genuine) leaves the
+/// quarantine marker set, so every later reader serves the snapshot
+/// instead of the half-applied engine.
+fn apply_batch(core: &Core, batch: Batch, panic_after: Option<usize>) {
+    let _span = mocp_obs::span!("serve.apply");
+    let tenant = batch.tenant;
+    core.registry
+        .with(tenant, |state| {
+            if batch.upto <= state.events_applied {
+                // Duplicate of an applied batch (resent because the
+                // submitter's acknowledgement raced a recovery).
+                return;
+            }
+            state.health = TenantHealth::Rebuilding;
+            let mut delta = StatusDelta::new();
+            for (i, &event) in batch.events.iter().enumerate() {
+                if panic_after == Some(i) {
+                    std::panic::panic_any(format!(
+                        "{CHAOS_PANIC}: mid-apply kill in tenant {tenant}"
+                    ));
+                }
+                delta.extend(state.engine.apply(event));
+            }
+            let n = batch.events.len() as u64;
+            state.seq = batch.batch_no;
+            state.events_applied = batch.upto;
+            // Applied mark and ledger credit inside the lock: recovery
+            // observes the engine mutation and its accounting atomically.
+            core.wal.mark_applied(
+                tenant,
+                batch.upto,
+                batch.batch_no,
+                core.config.wal_checkpoint_every,
+            );
+            if state.seq - state.snapshot.seq >= core.config.snapshot_every.max(1) {
+                state.snapshot =
+                    CoherentSnapshot::capture(&state.engine, state.seq, state.events_applied);
+            }
+            state.health = TenantHealth::Live;
+            let (sent, dropped) = fan_out(state, tenant, delta);
+            core.stats.batches.fetch_add(1, Ordering::Relaxed);
+            core.stats.events.fetch_add(n, Ordering::Relaxed);
+            core.stats.updates_sent.fetch_add(sent, Ordering::Relaxed);
+            core.stats
+                .updates_dropped
+                .fetch_add(dropped, Ordering::Relaxed);
+            mocp_obs::counter!("serve.batches").inc();
+            mocp_obs::counter!("serve.events").add(n);
+            // Ledger credit last: when `quiesce` returns, every applied
+            // batch's update and counters are already visible.
+            core.ledger.add_applied(n);
+        })
+        // Unknown tenants cannot happen today (submit checks and tenants
+        // are never removed), but losing that race must not wedge the
+        // ledger: the batch was never marked enqueued, so nothing leaks.
+        .unwrap_or(())
 }
 
 /// Delivers one batch's coalesced delta to the tenant's subscribers.
 /// Returns `(updates sent, updates dropped)`; disconnected subscribers
 /// are unregistered.
-fn fan_out(state: &mut Tenant, tenant: TenantId, delta: StatusDelta) -> (u64, u64) {
+pub(crate) fn fan_out(state: &mut Tenant, tenant: TenantId, delta: StatusDelta) -> (u64, u64) {
     if state.subscribers.is_empty() {
         return (0, 0);
     }

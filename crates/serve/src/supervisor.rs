@@ -1,0 +1,186 @@
+//! Worker supervision: death detection, fencing, WAL replay, respawn.
+//!
+//! One supervisor thread per service sleeps on the death signal. When a
+//! worker's [`DeathWatch`](crate::service) reports a death, the
+//! supervisor:
+//!
+//! 1. **fences** the dead worker — takes its queue sender (submitters
+//!    stop targeting the dead queue), bumps its epoch (in-flight enqueue
+//!    acknowledgements are rejected and the batches resent), joins the
+//!    corpse, and marks every owned tenant [`Degraded`] (engines still
+//!    coherent) — tenants caught mid-apply already carry [`Rebuilding`];
+//! 2. waits out the **recovery gate** (tests hold it to observe the
+//!    degraded states for as long as they need);
+//! 3. **recovers** each owned tenant from the write-ahead log: a
+//!    `Rebuilding` tenant's engine is rebuilt from the checkpoint fault
+//!    set plus a full suffix replay, a `Degraded` tenant's coherent
+//!    engine just catches up the enqueued-but-unapplied tail; either way
+//!    the tenant ends `Live` with a fresh coherent snapshot;
+//! 4. **respawns** a replacement worker (skipped during shutdown; the
+//!    shutdown path runs its own final recovery sweep instead).
+//!
+//! [`Degraded`]: crate::TenantHealth::Degraded
+//! [`Rebuilding`]: crate::TenantHealth::Rebuilding
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
+use std::thread::JoinHandle;
+
+use mesh2d::{FaultEvent, StatusDelta};
+use mocp_incremental::IncrementalEngine;
+
+use crate::registry::{spread, CoherentSnapshot, TenantHealth};
+use crate::service::{fan_out, spawn_worker, Core, TenantId, WorkerDeath};
+
+/// Spawns the supervisor thread for `core`.
+pub(crate) fn spawn(core: Arc<Core>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("mocp-serve-supervisor".into())
+        .spawn(move || supervisor_loop(&core))
+        .expect("supervisor thread spawn cannot fail")
+}
+
+fn supervisor_loop(core: &Arc<Core>) {
+    loop {
+        let death = {
+            let mut deaths = core.deaths.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                // Pending deaths are recovered even during shutdown —
+                // their tenants' WAL replay must not wait for the final
+                // sweep to discover them.
+                if let Some(death) = deaths.pop_front() {
+                    break Some(death);
+                }
+                if core.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                deaths = core
+                    .death_signal
+                    .wait(deaths)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(death) = death else { return };
+        fence_worker(core, death);
+        core.chaos.wait_recovery_gate(&core.shutting_down);
+        recover_worker(core, death.worker);
+    }
+}
+
+/// Fences a dead worker: no new batches reach its queue, no in-flight
+/// acknowledgement can slip past the recovery, the corpse is joined,
+/// and its tenants' health reflects the outage.
+fn fence_worker(core: &Core, death: WorkerDeath) {
+    core.slots[death.worker]
+        .sender
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    // The epoch bump must precede the recovery-spec reads below: an
+    // acknowledgement validated after this line sees the new epoch and
+    // fails, so its batch is resent rather than silently lost with the
+    // dead queue.
+    core.epochs[death.worker].fetch_add(1, Ordering::SeqCst);
+    let handle = core.slots[death.worker]
+        .handle
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    if let Some(handle) = handle {
+        if handle.join().is_err() {
+            core.stats.panicked_workers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    for tenant in owned_tenants(core, death.worker) {
+        core.registry.with(tenant, |state| {
+            if state.health == TenantHealth::Live {
+                state.health = TenantHealth::Degraded;
+            }
+        });
+    }
+}
+
+/// Recovers every tenant of a fenced worker and spawns its replacement.
+fn recover_worker(core: &Arc<Core>, worker: usize) {
+    let _span = mocp_obs::span!("serve.recovery");
+    for tenant in owned_tenants(core, worker) {
+        recover_tenant(core, tenant);
+    }
+    if !core.shutting_down.load(Ordering::SeqCst) {
+        spawn_worker(core, worker);
+        core.stats.restarts.fetch_add(1, Ordering::Relaxed);
+        mocp_obs::counter!("serve.supervisor.restarts").inc();
+    }
+}
+
+fn owned_tenants(core: &Core, worker: usize) -> Vec<TenantId> {
+    let workers = core.slots.len() as u64;
+    let mut tenants = core.registry.ids();
+    tenants.retain(|&t| spread(t) % workers == worker as u64);
+    tenants
+}
+
+/// Brings one tenant back to `Live` from the write-ahead log. Returns
+/// the number of events replayed. Also the shutdown path's final-sweep
+/// primitive; a no-op for tenants that are already live and caught up.
+pub(crate) fn recover_tenant(core: &Core, tenant: TenantId) -> u64 {
+    core.registry
+        .with(tenant, |state| {
+            let Some(spec) = core.wal.recovery_spec(tenant) else {
+                return 0;
+            };
+            if state.health == TenantHealth::Live && spec.lag_events == 0 {
+                return 0;
+            }
+            let replayed;
+            if state.health == TenantHealth::Rebuilding {
+                // The engine may be mid-apply (or behind a poisoned
+                // lock): rebuild from the checkpoint fault set plus the
+                // full enqueued suffix. Duplicate injects and
+                // repairs-of-healthy are engine no-ops, so overlap with
+                // whatever the dead worker half-applied is harmless.
+                let mesh = *state.engine.mesh();
+                let mut engine = IncrementalEngine::with_solution(mesh, core.config.solution);
+                for &c in spec.checkpoint.in_insertion_order() {
+                    engine.apply(FaultEvent::Inject(c));
+                }
+                for &event in &spec.full_replay {
+                    engine.apply(event);
+                }
+                state.engine = engine;
+                replayed = spec.full_replay.len() as u64;
+                // No fan-out: subscribers see the seq jump as a gap and
+                // resynchronize from a status snapshot.
+            } else {
+                // Coherent engine (Degraded, or a live tenant in the
+                // shutdown sweep): catch up the enqueued-but-unapplied
+                // tail and fan it out as one coalesced update.
+                let mut delta = StatusDelta::new();
+                for &event in &spec.lag_replay {
+                    delta.extend(state.engine.apply(event));
+                }
+                replayed = spec.lag_replay.len() as u64;
+                state.seq = spec.batches_enqueued;
+                let (sent, dropped) = fan_out(state, tenant, delta);
+                core.stats.updates_sent.fetch_add(sent, Ordering::Relaxed);
+                core.stats
+                    .updates_dropped
+                    .fetch_add(dropped, Ordering::Relaxed);
+            }
+            state.seq = spec.batches_enqueued;
+            state.events_applied = spec.enqueued;
+            state.snapshot =
+                CoherentSnapshot::capture(&state.engine, state.seq, state.events_applied);
+            state.health = TenantHealth::Live;
+            core.wal.complete_recovery(tenant);
+            core.ledger.add_applied(spec.lag_events);
+            if replayed > 0 {
+                core.stats
+                    .replayed_events
+                    .fetch_add(replayed, Ordering::Relaxed);
+                mocp_obs::counter!("serve.wal.replayed_events").add(replayed);
+            }
+            replayed
+        })
+        .unwrap_or(0)
+}

@@ -1,0 +1,365 @@
+//! Per-tenant in-memory write-ahead event log.
+//!
+//! Every batch is appended here **before** it is offered to a worker
+//! queue, so the events of a batch that dies with its worker — queued
+//! but never applied, or half-applied when the worker panicked — can be
+//! replayed onto a rebuilt engine. The log is not a history: once the
+//! worker acknowledges application, the applied prefix is folded into a
+//! per-tenant checkpoint [`FaultSet`] (the engine's observable state is
+//! a pure function of the fault set, so replaying checkpoint + suffix
+//! reproduces status, counts and polygons exactly).
+//!
+//! Three per-tenant watermarks order the life of an event, with the
+//! invariant `applied ≤ enqueued ≤ appended`:
+//!
+//! * **appended** — written to the log by a submitter;
+//! * **enqueued** — acknowledged as accepted by a (then-live) worker
+//!   queue; only the submitter that appended advances this, and only
+//!   after validating the worker's epoch (see below);
+//! * **applied** — applied to the tenant's engine by a worker.
+//!
+//! Recovery replays exactly `(applied, enqueued]`: those events were
+//! accepted but died with the worker. Events in `(enqueued, appended]`
+//! are still owned by a submitter that is retrying (or about to give up
+//! and [`retract`](Wal::retract) them), so replaying them here would
+//! double-apply once the submitter succeeds.
+//!
+//! The enqueue acknowledgement is **epoch-validated**: a submitter reads
+//! the owning worker's epoch before taking its sender, and
+//! [`mark_enqueued_if`](Wal::mark_enqueued_if) only records the
+//! acknowledgement (under the same WAL shard lock the recovery snapshot
+//! is taken under) if the epoch is unchanged. The supervisor bumps the
+//! epoch *before* reading a dead worker's recovery spec, so a send that
+//! raced into the dying queue either lands in the spec (ack won the
+//! lock) or is rejected and resent to the replacement worker — never
+//! silently lost, never applied twice.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use mesh2d::{FaultEvent, FaultSet, Mesh2D};
+
+use crate::registry::spread;
+use crate::service::TenantId;
+
+/// One tenant's log: checkpoint + un-folded suffix + watermarks.
+struct TenantWal {
+    /// Fault set equivalent to the first `offset` events of the stream.
+    checkpoint: FaultSet,
+    /// Events `(offset, appended]`, oldest first.
+    suffix: VecDeque<FaultEvent>,
+    /// Events folded into `checkpoint`.
+    offset: u64,
+    /// Total events ever appended (minus retractions).
+    appended: u64,
+    /// Events acknowledged as accepted by a worker queue.
+    enqueued: u64,
+    /// Events applied to the engine.
+    applied: u64,
+    /// Batches appended / enqueued / applied (mirror the event marks).
+    batches_appended: u64,
+    batches_enqueued: u64,
+    batches_applied: u64,
+}
+
+/// What the supervisor needs to rebuild or catch up one tenant.
+pub(crate) struct RecoverySpec {
+    /// Fault set equivalent to the stream before the suffix.
+    pub checkpoint: FaultSet,
+    /// Every enqueued-but-unfolded event, for a full rebuild.
+    pub full_replay: Vec<FaultEvent>,
+    /// The enqueued-but-unapplied tail, for a coherent-engine catch-up.
+    pub lag_replay: Vec<FaultEvent>,
+    /// `enqueued - applied`: events the recovery re-applies.
+    pub lag_events: u64,
+    /// Absolute event count after recovery (`enqueued`).
+    pub enqueued: u64,
+    /// Absolute batch count after recovery (`batches_enqueued`).
+    pub batches_enqueued: u64,
+}
+
+/// The mutex-striped write-ahead log: tenants hash onto shards with the
+/// same [`spread`] the registry uses, so WAL contention mirrors registry
+/// contention.
+pub(crate) struct Wal {
+    shards: Vec<Mutex<HashMap<TenantId, TenantWal>>>,
+}
+
+impl Wal {
+    pub fn new(shards: usize) -> Self {
+        Wal {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, tenant: TenantId) -> std::sync::MutexGuard<'_, HashMap<TenantId, TenantWal>> {
+        self.shards[(spread(tenant) % self.shards.len() as u64) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a fresh tenant with an empty log.
+    pub fn register(&self, tenant: TenantId, mesh: Mesh2D) {
+        self.shard(tenant)
+            .entry(tenant)
+            .or_insert_with(|| TenantWal {
+                checkpoint: FaultSet::new(mesh),
+                suffix: VecDeque::new(),
+                offset: 0,
+                appended: 0,
+                enqueued: 0,
+                applied: 0,
+                batches_appended: 0,
+                batches_enqueued: 0,
+                batches_applied: 0,
+            });
+    }
+
+    /// Appends one batch; returns `(upto, batch_no)` — the absolute
+    /// event and batch counts after this batch, the ticket later marks
+    /// refer to. Must only be called by the tenant's single submitter.
+    pub fn append(&self, tenant: TenantId, events: &[FaultEvent]) -> (u64, u64) {
+        let mut shard = self.shard(tenant);
+        let wal = shard.get_mut(&tenant).expect("tenant registered in WAL");
+        wal.suffix.extend(events.iter().copied());
+        wal.appended += events.len() as u64;
+        wal.batches_appended += 1;
+        (wal.appended, wal.batches_appended)
+    }
+
+    /// Rolls back the latest appended-but-unacknowledged batch of `n`
+    /// events — the submitter gave up (saturation) and still owns them.
+    /// Valid because each tenant has a single submitter: the last `n`
+    /// appended events are exactly that submitter's batch.
+    pub fn retract(&self, tenant: TenantId, n: u64) {
+        let mut shard = self.shard(tenant);
+        let wal = shard.get_mut(&tenant).expect("tenant registered in WAL");
+        debug_assert!(
+            wal.appended - wal.enqueued >= n,
+            "retract of an acknowledged batch"
+        );
+        for _ in 0..n {
+            wal.suffix.pop_back();
+        }
+        wal.appended -= n;
+        wal.batches_appended -= 1;
+    }
+
+    /// Acknowledges the batch ticketed `(upto, batch_no)` as accepted by
+    /// the worker whose `epoch` still reads `expected` — the epoch the
+    /// submitter saw before taking the worker's sender. Returns `false`
+    /// (recording nothing) when the worker was replaced in between: the
+    /// batch may sit in a dead queue, so the submitter must resend it.
+    ///
+    /// The check-and-mark runs under the WAL shard lock and the
+    /// supervisor bumps the epoch before reading the recovery spec under
+    /// that same lock, so an acknowledgement is either visible to the
+    /// recovery that replaces the worker, or rejected here.
+    pub fn mark_enqueued_if(
+        &self,
+        tenant: TenantId,
+        upto: u64,
+        batch_no: u64,
+        epoch: &AtomicU64,
+        expected: u64,
+    ) -> bool {
+        let mut shard = self.shard(tenant);
+        if epoch.load(Ordering::SeqCst) != expected {
+            return false;
+        }
+        let wal = shard.get_mut(&tenant).expect("tenant registered in WAL");
+        wal.enqueued = wal.enqueued.max(upto);
+        wal.batches_enqueued = wal.batches_enqueued.max(batch_no);
+        true
+    }
+
+    /// Records the batch ticketed `(upto, batch_no)` as applied. Called
+    /// by the worker that just applied it, under the tenant's registry
+    /// shard lock; a worker that holds a batch proves it was enqueued,
+    /// so the enqueue watermark is raised too (the submitter's own
+    /// acknowledgement may still be in flight — both marks are
+    /// max-merges, so the order does not matter). Folds the applied
+    /// prefix into the checkpoint once it exceeds `checkpoint_every`.
+    pub fn mark_applied(&self, tenant: TenantId, upto: u64, batch_no: u64, checkpoint_every: u64) {
+        let mut shard = self.shard(tenant);
+        let wal = shard.get_mut(&tenant).expect("tenant registered in WAL");
+        wal.applied = wal.applied.max(upto);
+        wal.batches_applied = wal.batches_applied.max(batch_no);
+        wal.enqueued = wal.enqueued.max(upto);
+        wal.batches_enqueued = wal.batches_enqueued.max(batch_no);
+        wal.truncate(checkpoint_every.max(1));
+    }
+
+    /// Events acknowledged but not applied (`enqueued - applied`).
+    #[cfg(test)]
+    pub fn lag(&self, tenant: TenantId) -> u64 {
+        let shard = self.shard(tenant);
+        shard
+            .get(&tenant)
+            .map_or(0, |wal| wal.enqueued - wal.applied)
+    }
+
+    /// Snapshot of what a recovery must replay for `tenant`.
+    pub fn recovery_spec(&self, tenant: TenantId) -> Option<RecoverySpec> {
+        let shard = self.shard(tenant);
+        let wal = shard.get(&tenant)?;
+        let full_end = (wal.enqueued - wal.offset) as usize;
+        let lag_start = (wal.applied - wal.offset) as usize;
+        let full_replay: Vec<FaultEvent> = wal.suffix.iter().copied().take(full_end).collect();
+        Some(RecoverySpec {
+            checkpoint: wal.checkpoint.clone(),
+            lag_replay: full_replay[lag_start..].to_vec(),
+            full_replay,
+            lag_events: wal.enqueued - wal.applied,
+            enqueued: wal.enqueued,
+            batches_enqueued: wal.batches_enqueued,
+        })
+    }
+
+    /// Marks a finished recovery: everything acknowledged is now
+    /// applied, and the log is folded down to the checkpoint.
+    pub fn complete_recovery(&self, tenant: TenantId) {
+        let mut shard = self.shard(tenant);
+        let wal = shard.get_mut(&tenant).expect("tenant registered in WAL");
+        wal.applied = wal.enqueued;
+        wal.batches_applied = wal.batches_enqueued;
+        wal.truncate(1);
+    }
+}
+
+impl TenantWal {
+    /// Folds the applied prefix of the suffix into the checkpoint once
+    /// it is at least `threshold` events long.
+    fn truncate(&mut self, threshold: u64) {
+        if self.applied - self.offset < threshold {
+            return;
+        }
+        while self.offset < self.applied {
+            let event = self
+                .suffix
+                .pop_front()
+                .expect("applied events are in the suffix");
+            self.checkpoint.apply(event);
+            self.offset += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh2d::Coord;
+
+    fn inject(x: i32, y: i32) -> FaultEvent {
+        FaultEvent::Inject(Coord::new(x, y))
+    }
+
+    fn repair(x: i32, y: i32) -> FaultEvent {
+        FaultEvent::Repair(Coord::new(x, y))
+    }
+
+    #[test]
+    fn watermarks_follow_the_batch_lifecycle() {
+        let wal = Wal::new(4);
+        wal.register(7, Mesh2D::square(8));
+        let epoch = AtomicU64::new(0);
+
+        let (upto, batch) = wal.append(7, &[inject(1, 1), inject(2, 2)]);
+        assert_eq!((upto, batch), (2, 1));
+        assert_eq!(wal.lag(7), 0, "appended but not acknowledged");
+
+        assert!(wal.mark_enqueued_if(7, upto, batch, &epoch, 0));
+        assert_eq!(wal.lag(7), 2);
+
+        wal.mark_applied(7, upto, batch, 64);
+        assert_eq!(wal.lag(7), 0);
+    }
+
+    #[test]
+    fn epoch_mismatch_rejects_the_acknowledgement() {
+        let wal = Wal::new(1);
+        wal.register(1, Mesh2D::square(4));
+        let epoch = AtomicU64::new(0);
+        let (upto, batch) = wal.append(1, &[inject(0, 0)]);
+        epoch.store(1, Ordering::SeqCst);
+        assert!(!wal.mark_enqueued_if(1, upto, batch, &epoch, 0));
+        assert_eq!(wal.lag(1), 0, "nothing recorded");
+        assert!(wal.mark_enqueued_if(1, upto, batch, &epoch, 1));
+        assert_eq!(wal.lag(1), 1);
+    }
+
+    #[test]
+    fn retract_rolls_back_an_unacknowledged_batch() {
+        let wal = Wal::new(1);
+        wal.register(1, Mesh2D::square(4));
+        let epoch = AtomicU64::new(0);
+        let (u1, b1) = wal.append(1, &[inject(0, 0)]);
+        assert!(wal.mark_enqueued_if(1, u1, b1, &epoch, 0));
+        wal.append(1, &[inject(1, 1), inject(2, 2)]);
+        wal.retract(1, 2);
+        // The retracted batch's ticket is reusable: the next append gets
+        // the same numbers.
+        let (u2, b2) = wal.append(1, &[inject(3, 3)]);
+        assert_eq!((u2, b2), (2, 2));
+        let spec = wal.recovery_spec(1).unwrap();
+        assert_eq!(
+            spec.full_replay,
+            vec![inject(0, 0)],
+            "only acknowledged events replay"
+        );
+    }
+
+    #[test]
+    fn recovery_spec_slices_lag_and_checkpoint_folds_applied_prefix() {
+        let wal = Wal::new(2);
+        wal.register(3, Mesh2D::square(8));
+        let epoch = AtomicU64::new(5);
+
+        let (u1, b1) = wal.append(3, &[inject(1, 1), inject(2, 2)]);
+        assert!(wal.mark_enqueued_if(3, u1, b1, &epoch, 5));
+        wal.mark_applied(3, u1, b1, 1); // eager checkpoint: folds both events
+
+        let (u2, b2) = wal.append(3, &[repair(1, 1), inject(4, 4)]);
+        assert!(wal.mark_enqueued_if(3, u2, b2, &epoch, 5));
+        // Worker dies before applying batch 2.
+        let spec = wal.recovery_spec(3).unwrap();
+        assert_eq!(spec.lag_events, 2);
+        assert_eq!(spec.lag_replay, vec![repair(1, 1), inject(4, 4)]);
+        assert_eq!(
+            spec.full_replay, spec.lag_replay,
+            "applied prefix was folded"
+        );
+        assert!(spec.checkpoint.is_faulty(Coord::new(1, 1)));
+        assert!(spec.checkpoint.is_faulty(Coord::new(2, 2)));
+        assert_eq!(spec.enqueued, 4);
+        assert_eq!(spec.batches_enqueued, 2);
+
+        wal.complete_recovery(3);
+        assert_eq!(wal.lag(3), 0);
+        let spec = wal.recovery_spec(3).unwrap();
+        assert!(spec.full_replay.is_empty());
+        assert!(
+            !spec.checkpoint.is_faulty(Coord::new(1, 1)),
+            "repair folded in"
+        );
+        assert!(spec.checkpoint.is_faulty(Coord::new(4, 4)));
+    }
+
+    #[test]
+    fn lazy_checkpoint_keeps_the_suffix_until_threshold() {
+        let wal = Wal::new(1);
+        wal.register(1, Mesh2D::square(8));
+        let epoch = AtomicU64::new(0);
+        for i in 0..3 {
+            let (u, b) = wal.append(1, &[inject(i, 0)]);
+            assert!(wal.mark_enqueued_if(1, u, b, &epoch, 0));
+            wal.mark_applied(1, u, b, 100);
+        }
+        let spec = wal.recovery_spec(1).unwrap();
+        assert_eq!(spec.full_replay.len(), 3, "below threshold: nothing folded");
+        assert_eq!(spec.lag_events, 0);
+    }
+}

@@ -25,7 +25,10 @@
 //! * [`reroute`] — incremental rerouting: a [`RerouteIndex`] that consumes
 //!   coalesced [`mesh2d::StatusDelta`] batches and recomputes only the
 //!   routes whose dependency footprint the changed cells intersect, with a
-//!   from-scratch oracle proving exact equivalence.
+//!   from-scratch oracle proving exact equivalence; [`LiveReroute`] runs
+//!   the same index against a live `mocp_serve` tenant over a bounded,
+//!   lossy subscription, detecting `seq` gaps and resynchronizing from a
+//!   coherent snapshot.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +39,6 @@ pub mod sim;
 pub mod stats;
 
 pub use pattern::{pattern_by_name, Hotspot, TrafficPattern, Transpose, Uniform, PATTERN_NAMES};
-pub use reroute::{BatchOutcome, RerouteIndex, RerouteStats};
+pub use reroute::{BatchOutcome, LiveReroute, RerouteIndex, RerouteStats};
 pub use sim::{simulate, SimConfig};
 pub use stats::{LatencySummary, ReachableStats, TrafficReport, VcOccupancy};

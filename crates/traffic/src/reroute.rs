@@ -30,9 +30,11 @@
 //! itself, and the index stays **exactly** equal to from-scratch routing —
 //! the property the churn property-test pins against the oracle.
 
+use crossbeam::channel::{Receiver, TryRecvError};
 use mesh2d::{BitGrid, Coord, Mesh2D, Region, StatusDelta, StatusMap};
 use meshroute::{ExtendedECube, PairSample, RegionMap, RouteError, RoutePath};
 use mocp_incremental::IncrementalEngine;
+use mocp_serve::{MonitorService, TenantId, TenantUpdate};
 
 const TILE_SHIFT: u32 = 3; // 8×8-node tiles
 
@@ -362,6 +364,144 @@ fn compute(
             let deps = Deps::Cells(BitGrid::from_coords([src, dst]));
             (Err(err), deps)
         }
+    }
+}
+
+/// A live, gap-recovering consumer of one tenant's coalesced updates.
+///
+/// `LiveReroute` couples a [`RerouteIndex`] to a **bounded** subscription
+/// on a [`MonitorService`] tenant. Bounded subscribers never stall a
+/// worker: the service *drops* updates while the buffer is full, and the
+/// survivor sees the hole as a `seq` gap. [`pump`](LiveReroute::pump)
+/// applies in-order updates incrementally; on a gap — dropped updates, or
+/// a worker recovery that rebuilt the tenant without fanning out — it
+/// **resynchronizes** by diffing its mirrored status map against a
+/// coherent service snapshot. The repair is one
+/// [`StatusDelta::between`] batch through the ordinary incremental path,
+/// not an index rebuild, so routes untouched by the missed churn keep
+/// their cached results.
+///
+/// [`sync`](LiveReroute::sync) is the equality point: when it returns,
+/// the index's mirror equals the tenant's snapshot and the maintained
+/// routes equal from-scratch routing over it
+/// ([`RerouteIndex::matches_from_scratch`]), no matter how many updates
+/// were dropped, replayed or reordered by recovery in between.
+pub struct LiveReroute {
+    tenant: TenantId,
+    index: RerouteIndex,
+    updates: Receiver<TenantUpdate>,
+    /// The next update sequence number the index expects.
+    next_seq: u64,
+    gaps: u64,
+    resyncs: u64,
+}
+
+impl LiveReroute {
+    /// Subscribes to `tenant` over a buffer of `capacity` updates and
+    /// builds the route index from a coherent snapshot. Subscribing
+    /// *before* snapshotting closes the attach race: every update fanned
+    /// out after the snapshot is either reflected in it (skipped by
+    /// `seq`) or delivered/dropped through the subscription — nothing
+    /// can fall in between. `None` for unknown tenants.
+    pub fn attach(
+        service: &MonitorService,
+        tenant: TenantId,
+        mesh: &Mesh2D,
+        sample: &PairSample,
+        capacity: usize,
+    ) -> Option<Self> {
+        let updates = service.subscribe(tenant, Some(capacity))?;
+        let snap = service.status_snapshot(tenant)?;
+        let index = RerouteIndex::new(mesh, &snap.status, sample);
+        Some(LiveReroute {
+            tenant,
+            index,
+            updates,
+            next_seq: snap.seq + 1,
+            gaps: 0,
+            resyncs: 0,
+        })
+    }
+
+    /// Drains every buffered update without blocking, applying in-order
+    /// ones incrementally and resynchronizing on `seq` gaps. Returns the
+    /// number of updates drained.
+    pub fn pump(&mut self, service: &MonitorService) -> usize {
+        let mut drained = 0;
+        loop {
+            let update = match self.updates.try_recv() {
+                Ok(update) => update,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return drained,
+            };
+            drained += 1;
+            if update.seq < self.next_seq {
+                // Stale: a recovery catch-up re-announced state the
+                // index already mirrors (directly or via a resync).
+                continue;
+            }
+            if update.seq > self.next_seq {
+                self.gaps += 1;
+                mocp_obs::counter!("reroute.live.gaps").inc();
+                self.resync(service);
+            }
+            if update.seq >= self.next_seq {
+                self.index.apply_batch(&update.delta);
+                self.next_seq = update.seq + 1;
+                mocp_obs::counter!("reroute.live.applied").inc();
+            }
+        }
+    }
+
+    /// Re-anchors the index on a coherent service snapshot: one
+    /// between-diff batch through the incremental path, then rejoin the
+    /// stream at the snapshot's sequence number.
+    fn resync(&mut self, service: &MonitorService) {
+        let Some(snap) = service.status_snapshot(self.tenant) else {
+            return;
+        };
+        let diff = StatusDelta::between(self.index.status(), &snap.status);
+        self.index.apply_batch(&diff);
+        self.next_seq = snap.seq + 1;
+        self.resyncs += 1;
+        mocp_obs::counter!("reroute.live.resyncs").inc();
+    }
+
+    /// Pumps, then verifies the mirror against a fresh snapshot,
+    /// resynchronizing once if they diverged (e.g. a snapshot served
+    /// while the tenant was rebuilding temporarily rewound the stream).
+    /// Returns `true` when the pumped stream alone had already converged
+    /// — i.e. no repair was needed.
+    pub fn sync(&mut self, service: &MonitorService) -> bool {
+        self.pump(service);
+        let coherent = match service.status_snapshot(self.tenant) {
+            Some(snap) => self.next_seq == snap.seq + 1 && *self.index.status() == snap.status,
+            None => false,
+        };
+        if !coherent {
+            self.resync(service);
+        }
+        coherent
+    }
+
+    /// The maintained route index.
+    pub fn index(&self) -> &RerouteIndex {
+        &self.index
+    }
+
+    /// The tenant this subscriber tracks.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Sequence gaps detected so far.
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Snapshot resynchronizations performed so far (gap repairs plus
+    /// divergence repairs from [`sync`](LiveReroute::sync)).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
     }
 }
 

@@ -9,11 +9,13 @@
 //! overhead is amortized and the mutex is never the bottleneck.
 //!
 //! Provided subset: [`bounded`] / [`unbounded`] constructors,
-//! [`Sender::send`] / [`Sender::try_send`], [`Receiver::recv`] /
+//! [`Sender::send`] / [`Sender::try_send`] / [`Sender::send_timeout`] /
+//! [`Sender::send_deadline`], [`Receiver::recv`] /
 //! [`Receiver::try_recv`] / [`Receiver::recv_timeout`] /
 //! [`Receiver::iter`] / [`Receiver::try_iter`], `len` / `is_empty` on
 //! both ends, and the error vocabulary ([`SendError`], [`TrySendError`],
-//! [`RecvError`], [`TryRecvError`], [`RecvTimeoutError`]).
+//! [`SendTimeoutError`], [`RecvError`], [`TryRecvError`],
+//! [`RecvTimeoutError`]).
 //!
 //! Disconnect semantics match the real crate:
 //!
@@ -92,6 +94,53 @@ impl<T> fmt::Display for TrySendError<T> {
     }
 }
 
+/// Why a [`Sender::send_timeout`] / [`Sender::send_deadline`] did not
+/// enqueue; carries the message back so a bounded-wait caller can retry.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The bound elapsed with the channel still at capacity.
+    Timeout(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// The message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(t) | SendTimeoutError::Disconnected(t) => t,
+        }
+    }
+
+    /// True for the [`SendTimeoutError::Timeout`] case.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SendTimeoutError::Timeout(_))
+    }
+
+    /// True for the [`SendTimeoutError::Disconnected`] case.
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, SendTimeoutError::Disconnected(_))
+    }
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("timed out waiting on send"),
+            SendTimeoutError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Every sender was dropped and the queue is drained.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RecvError;
@@ -147,6 +196,7 @@ impl std::error::Error for TryRecvError {}
 impl std::error::Error for RecvTimeoutError {}
 impl<T> std::error::Error for SendError<T> {}
 impl<T> std::error::Error for TrySendError<T> {}
+impl<T> std::error::Error for SendTimeoutError<T> {}
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -240,6 +290,52 @@ impl<T> Sender<T> {
                 drop(inner);
                 self.shared.not_empty.notify_one();
                 Ok(())
+            }
+        }
+    }
+
+    /// Enqueues `msg`, blocking at most `timeout` while a bounded
+    /// channel is at capacity. Returns the message on
+    /// [`SendTimeoutError::Timeout`] so the caller can retry or give up.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        self.send_deadline(msg, Instant::now() + timeout)
+    }
+
+    /// Enqueues `msg`, blocking until `deadline` while a bounded channel
+    /// is at capacity. Like [`Sender::send_timeout`] with an absolute
+    /// bound — callers retrying under a budget avoid re-adding elapsed
+    /// time on every attempt.
+    pub fn send_deadline(&self, msg: T, deadline: Instant) -> Result<(), SendTimeoutError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            match inner.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(msg));
+                    }
+                    let (guard, result) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap();
+                    inner = guard;
+                    if result.timed_out()
+                        && inner.cap.is_some_and(|c| inner.queue.len() >= c)
+                        && inner.receivers > 0
+                    {
+                        return Err(SendTimeoutError::Timeout(msg));
+                    }
+                }
+                _ => {
+                    inner.queue.push_back(msg);
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
             }
         }
     }
@@ -598,6 +694,61 @@ mod tests {
         assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
         assert!(rx.try_iter().next().is_none(), "empty but not blocked");
         drop(tx);
+    }
+
+    #[test]
+    fn send_timeout_times_out_then_succeeds_after_drain() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let err = tx.send_timeout(1, Duration::from_millis(10)).unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!(err.into_inner(), 1);
+        assert_eq!(rx.recv(), Ok(0));
+        tx.send_timeout(1, Duration::from_millis(10)).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn send_timeout_unblocks_when_receiver_drains() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let sender = thread::spawn(move || tx.send_timeout(1, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(sender.join().unwrap(), Ok(()));
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn send_timeout_disconnected_beats_timeout() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        drop(rx);
+        let err = tx.send_timeout(1, Duration::from_millis(50)).unwrap_err();
+        assert!(err.is_disconnected());
+        assert_eq!(err.into_inner(), 1);
+    }
+
+    #[test]
+    fn send_timeout_wakes_on_receiver_drop_while_blocked() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        let sender = thread::spawn(move || tx.send_timeout(1, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(sender.join().unwrap().unwrap_err().is_disconnected());
+    }
+
+    #[test]
+    fn send_deadline_in_the_past_fails_immediately_when_full() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(tx.send_deadline(1, past).unwrap_err().is_timeout());
+        // A past deadline still sends when there is room.
+        assert_eq!(rx.recv(), Ok(0));
+        tx.send_deadline(1, past).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
     }
 
     #[test]
